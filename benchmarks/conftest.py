@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures end-to-end
+(workload generation, simulation sweep, metric extraction) at reduced scale
+— quick workload subsets and small instruction budgets — and asserts the
+result *shape* the paper reports.  ``pedantic(rounds=1)`` keeps wall time
+sane; the numbers printed by ``--benchmark-only`` measure the cost of one
+full regeneration.
+
+For full-scale outputs run ``python -m repro.experiments all --insts 200000``.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+
+def quick_ctx(instructions=15_000):
+    """A fresh, small experiment context (no cross-bench memoisation)."""
+    return ExperimentContext(instructions=instructions, quick=True)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

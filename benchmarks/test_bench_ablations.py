@@ -1,0 +1,43 @@
+"""Ablation benches: VRL, page interleaving, FIFO vs LRU replacement."""
+
+import pytest
+from conftest import quick_ctx
+
+from repro.experiments import ablations
+
+
+def test_ablation_vrl(bench_once):
+    table = bench_once(lambda: ablations.run_vrl(quick_ctx(instructions=10_000)))
+    print()
+    print(table.format())
+    # Paper: "the performance improvement from the AMB prefetching is very
+    # similar to that without VRL".
+    for row in table.rows:
+        assert row["improvement_vrl"] == pytest.approx(
+            row["improvement_no_vrl"], abs=0.08
+        )
+        assert row["improvement_vrl"] > 0
+        assert row["improvement_no_vrl"] > 0
+
+
+def test_ablation_page_interleave(bench_once):
+    table = bench_once(
+        lambda: ablations.run_page_interleave(quick_ctx(instructions=10_000))
+    )
+    print()
+    print(table.format())
+    # Both layouts of Figure 2 must work; neither collapses.
+    for row in table.rows:
+        assert row["page_interleave_ap"] > 0.5 * row["multi_cacheline_ap"]
+
+
+def test_ablation_replacement_policy(bench_once):
+    table = bench_once(
+        lambda: ablations.run_replacement(quick_ctx(instructions=10_000))
+    )
+    print()
+    print(table.format())
+    # FIFO is the paper's choice; LRU must not be dramatically better
+    # (hit blocks are already cached on-chip, so recency is useless).
+    for row in table.rows:
+        assert row["lru"] < row["fifo"] * 1.05

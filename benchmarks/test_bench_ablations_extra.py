@@ -1,0 +1,16 @@
+"""Additional ablation benches: hardware prefetching interplay."""
+
+from conftest import quick_ctx
+
+from repro.experiments import hw_prefetch
+
+
+def test_ablation_hw_prefetch(bench_once):
+    table = bench_once(lambda: hw_prefetch.run(quick_ctx(instructions=15_000)))
+    print()
+    print(table.format())
+    # Section 5.4's conjecture: AMB prefetching keeps improving performance
+    # when a hardware prefetcher replaces the software one.
+    for row in table.rows:
+        assert row["ap_gain_with_sw"] > 0
+        assert row["ap_gain_with_hw"] > 0

@@ -1,0 +1,56 @@
+"""Tables 1-3: the experimental setup itself.
+
+These benches assert that the library's defaults reproduce the paper's
+configuration tables exactly, and time how long building a full default
+system takes (the fixed cost every experiment pays).
+"""
+
+from repro.config import CpuConfig, DramTimings, MemoryConfig, fbdimm_baseline
+from repro.system import System
+from repro.workloads.multiprog import SINGLE_CORE, WORKLOADS
+
+
+def build_default_system():
+    return System(fbdimm_baseline(num_cores=1), ["swim"])
+
+
+def test_table1_system_parameters(bench_once):
+    system = bench_once(build_default_system)
+    cpu, memory = CpuConfig(), MemoryConfig()
+    # Processor rows of Table 1.
+    assert cpu.clock_ghz == 4.0
+    assert cpu.rob_entries == 196
+    assert cpu.data_mshr_entries == 32
+    assert cpu.l2_mshr_entries == 64
+    # Memory rows of Table 1.
+    assert memory.logic_channels == 2
+    assert memory.physical_per_logic == 2
+    assert memory.dimms_per_channel == 4
+    assert memory.banks_per_dimm == 4
+    assert memory.data_rate_mts == 667
+    assert memory.buffer_entries == 64
+    assert memory.controller_overhead_ns == 12.0
+    # And the built system agrees.
+    assert len(system.controller.channels) == 4
+    assert system.l2_mshr.capacity == 64
+
+
+def test_table2_dram_timings(bench_once):
+    timings = bench_once(DramTimings)
+    expected = {
+        "tRP": 15.0, "tRCD": 15.0, "tCL": 15.0, "tRC": 54.0, "tRRD": 9.0,
+        "tRPD": 9.0, "tWTR": 9.0, "tRAS": 39.0, "tWL": 12.0, "tWPD": 36.0,
+    }
+    for name, value in expected.items():
+        assert getattr(timings, name) == value
+
+
+def test_table3_workload_mixes(bench_once):
+    workloads = bench_once(lambda: dict(WORKLOADS))
+    assert workloads["2C-1"] == ("wupwise", "swim")
+    assert workloads["2C-3"] == ("vpr", "equake")
+    assert workloads["4C-6"] == ("equake", "lucas", "parser", "vortex")
+    assert workloads["8C-3"] == (
+        "vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex",
+    )
+    assert len(SINGLE_CORE) == 12

@@ -1,0 +1,46 @@
+"""Figures 4 and 5: DDR2 vs FB-DIMM, SMT speedup and bandwidth/latency."""
+
+from conftest import quick_ctx
+
+from repro.experiments import fig04_smt_speedup, fig05_bw_latency
+
+
+def regenerate_fig04():
+    ctx = quick_ctx()
+    table = fig04_smt_speedup.run(ctx)
+    return table, fig04_smt_speedup.group_means(table)
+
+
+def test_fig04_smt_speedup(bench_once):
+    table, summary = bench_once(regenerate_fig04)
+    print()
+    print(summary.format())
+    ratio = {r["cores"]: r["fbd_over_ddr2"] for r in summary.rows}
+    # Paper: FBD ~comparable at 1-2 cores, ahead at 8 (avg +6 %).
+    assert ratio[1] < 1.02
+    assert ratio[8] > 1.0
+    assert ratio[8] > ratio[1]
+    # Single-core DDR2 is the 1.0 reference by construction.
+    for row in table.rows:
+        if row["cores"] == 1:
+            assert abs(row["ddr2"] - 1.0) < 1e-9
+
+
+def regenerate_fig05():
+    ctx = quick_ctx()
+    table = fig05_bw_latency.run(ctx)
+    return fig05_bw_latency.group_means(table)
+
+
+def test_fig05_bandwidth_vs_latency(bench_once):
+    summary = bench_once(regenerate_fig05)
+    print()
+    print(summary.format())
+    by_cores = {r["cores"]: r for r in summary.rows}
+    # Utilised bandwidth grows with core count for both systems.
+    assert by_cores[8]["fbd_bw"] > by_cores[1]["fbd_bw"]
+    assert by_cores[8]["ddr2_bw"] > by_cores[1]["ddr2_bw"]
+    # At 8 cores FB-DIMM serves its (higher) load at lower latency.
+    assert by_cores[8]["fbd_latency"] < by_cores[8]["ddr2_latency"]
+    # At 1 core DDR2's latency is the lower one.
+    assert by_cores[1]["ddr2_latency"] < by_cores[1]["fbd_latency"]

@@ -1,0 +1,30 @@
+"""Figure 6: bandwidth impact of data rate and channel count."""
+
+from conftest import quick_ctx
+
+from repro.experiments import fig06_bandwidth_impact as fig06
+
+
+def regenerate():
+    # The largest sweep of the evaluation (18 cells x several workloads);
+    # a smaller instruction budget keeps one regeneration tractable.
+    ctx = quick_ctx(instructions=8_000)
+    return fig06.run(ctx)
+
+
+def test_fig06_bandwidth_impact(bench_once):
+    table = bench_once(regenerate)
+    print()
+    print(table.format())
+    for system in ("ddr2", "fbdimm"):
+        # More bandwidth never hurts: 800 MT/s beats 533 MT/s at fixed
+        # channel count, for every core count.
+        for cores in fig06.CORE_COUNTS:
+            assert fig06.gain(
+                table, system, cores, rate_from=533, rate_to=800
+            ) > 1.0
+        # Channel count matters much more at 8 cores than at 1 (the
+        # paper: 8.8 % vs 75.1 % going from one to two channels).
+        gain_1core = fig06.channel_gain(table, system, 1)
+        gain_8core = fig06.channel_gain(table, system, 8)
+        assert gain_8core > gain_1core

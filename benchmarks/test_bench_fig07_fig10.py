@@ -1,0 +1,35 @@
+"""Figures 7 and 10: AMB-prefetching speedup and its bandwidth/latency view."""
+
+from conftest import quick_ctx
+
+from repro.experiments import fig07_amb_speedup, fig10_bw_latency_ap
+
+
+def regenerate_fig07():
+    ctx = quick_ctx()
+    table = fig07_amb_speedup.run(ctx)
+    return table, fig07_amb_speedup.group_means(table)
+
+
+def test_fig07_amb_prefetch_speedup(bench_once):
+    table, summary = bench_once(regenerate_fig07)
+    print()
+    print(summary.format())
+    # Paper: average improvements 16.0/19.4/16.3/15.0 %, never negative.
+    assert all(r["improvement"] > 0 for r in table.rows)
+    for row in summary.rows:
+        assert 0.05 < row["improvement"] < 0.35
+
+
+def regenerate_fig10():
+    return fig10_bw_latency_ap.run(quick_ctx())
+
+
+def test_fig10_bandwidth_latency_with_ap(bench_once):
+    table = bench_once(regenerate_fig10)
+    print()
+    print(table.format())
+    # Paper: for every workload FBD-AP moves more data at lower latency.
+    for row in table.rows:
+        assert row["ap_bw"] > row["fbd_bw"]
+        assert row["ap_latency"] < row["fbd_latency"]

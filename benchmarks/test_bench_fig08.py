@@ -1,0 +1,36 @@
+"""Figure 8: prefetch coverage and efficiency across AMB-cache variants."""
+
+from conftest import quick_ctx
+
+from repro.experiments import fig08_coverage
+
+
+def regenerate():
+    return fig08_coverage.run(quick_ctx())
+
+
+def row(table, variant, cores):
+    for r in table.rows:
+        if r["variant"] == variant and r["cores"] == cores:
+            return r
+    raise KeyError((variant, cores))
+
+
+def test_fig08_coverage_and_efficiency(bench_once):
+    table = bench_once(regenerate)
+    print()
+    print(table.format())
+    for cores in (1, 4):
+        k2 = row(table, "#CL=2", cores)
+        k4 = row(table, "#CL=4 (default)", cores)
+        k8 = row(table, "#CL=8", cores)
+        # Coverage rises with K, bounded by (K-1)/K; efficiency falls.
+        assert k2["coverage"] < k4["coverage"] < k8["coverage"]
+        assert k2["efficiency"] > k4["efficiency"] > k8["efficiency"]
+        for r in (k2, k4, k8):
+            assert r["coverage"] <= r["bound"]
+        # Less associativity costs coverage and efficiency.
+        direct = row(table, "Set=direct", cores)
+        two_way = row(table, "Set=2", cores)
+        assert direct["coverage"] < two_way["coverage"]
+        assert direct["efficiency"] < k4["efficiency"]

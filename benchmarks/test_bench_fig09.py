@@ -1,0 +1,24 @@
+"""Figure 9: decomposition of the AP gain (FBD / FBD-APFL / FBD-AP)."""
+
+from conftest import quick_ctx
+
+from repro.experiments import fig09_decomposition
+
+
+def regenerate():
+    return fig09_decomposition.run(quick_ctx())
+
+
+def test_fig09_gain_decomposition(bench_once):
+    table = bench_once(regenerate)
+    print()
+    print(table.format())
+    by_cores = {r["cores"]: r for r in table.rows}
+    for row in table.rows:
+        assert row["fbd"] < row["fbd_ap"], "AP beats FBD at every core count"
+        assert row["latency_gain"] > 0, "AP beats APFL (idle-latency share)"
+    # The bandwidth-utilisation share is positive under load and grows
+    # with the core count (the paper's 8-core observation).
+    assert by_cores[4]["bandwidth_gain"] > 0
+    assert by_cores[8]["bandwidth_gain"] > 0
+    assert by_cores[8]["bandwidth_gain"] > by_cores[1]["bandwidth_gain"]

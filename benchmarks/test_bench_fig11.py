@@ -1,0 +1,35 @@
+"""Figure 11: sensitivity of AP performance to its configuration."""
+
+import pytest
+from conftest import quick_ctx
+
+from repro.experiments import fig11_sensitivity
+
+
+def regenerate():
+    return fig11_sensitivity.run(quick_ctx())
+
+
+def norm(table, variant, cores):
+    for r in table.rows:
+        if r["variant"] == variant and r["cores"] == cores:
+            return r["normalised"]
+    raise KeyError((variant, cores))
+
+
+def test_fig11_sensitivity(bench_once):
+    table = bench_once(regenerate)
+    print()
+    print(table.format())
+    for cores in (1, 2, 4, 8):
+        # Buffer size barely matters (paper: 32/64/128 are close).
+        assert norm(table, "#entry=32", cores) == pytest.approx(1.0, abs=0.05)
+        assert norm(table, "#entry=128", cores) == pytest.approx(1.0, abs=0.05)
+        # Associativity: 2-way is nearly full; direct-mapped loses several
+        # percent (paper: 95.3/90.5/87.4/87.0 % of full associativity).
+        assert norm(table, "Set=2", cores) > 0.9
+        assert norm(table, "Set=direct", cores) < norm(table, "Set=2", cores)
+    # Region-size preference flips with core count (paper: 1-2 cores like
+    # bigger K, 4-8 cores peak at 4): K=8's relative standing at 8 cores
+    # must not exceed its standing at 1 core.
+    assert norm(table, "#CL=8", 8) <= norm(table, "#CL=8", 1) + 0.02

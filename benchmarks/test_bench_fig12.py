@@ -1,0 +1,25 @@
+"""Figure 12: complementarity of AMB and software cache prefetching."""
+
+import pytest
+from conftest import quick_ctx
+
+from repro.experiments import fig12_sw_prefetch
+
+
+def regenerate():
+    return fig12_sw_prefetch.run(quick_ctx())
+
+
+def test_fig12_ap_sp_complementarity(bench_once):
+    table = bench_once(regenerate)
+    print()
+    print(table.format())
+    by_cores = {r["cores"]: r for r in table.rows}
+    for row in table.rows:
+        assert row["sp"] > 1.0 and row["ap"] > 1.0
+        assert row["ap_sp"] > max(row["sp"], row["ap"])
+        # "Very close to the sum of SP and AP" — additive within 15 %.
+        assert row["additivity"] == pytest.approx(1.0, abs=0.15)
+    # SP wins at one core; AP overtakes at eight (paper's crossover).
+    assert by_cores[1]["sp"] > by_cores[1]["ap"]
+    assert by_cores[8]["ap"] > by_cores[8]["sp"]

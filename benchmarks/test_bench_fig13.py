@@ -1,0 +1,36 @@
+"""Figure 13: DRAM dynamic power of AMB-prefetching variants."""
+
+from conftest import quick_ctx
+
+from repro.experiments import fig13_power
+
+
+def regenerate():
+    return fig13_power.run(quick_ctx())
+
+
+def row(table, variant, cores):
+    for r in table.rows:
+        if r["variant"] == variant and r["cores"] == cores:
+            return r
+    raise KeyError((variant, cores))
+
+
+def test_fig13_power_saving(bench_once):
+    table = bench_once(regenerate)
+    print()
+    print(table.format())
+    for cores in (1, 4, 8):
+        k2 = row(table, "#CL=2", cores)
+        k4 = row(table, "#CL=4 (default)", cores)
+        k8 = row(table, "#CL=8", cores)
+        # The default configuration saves DRAM dynamic power everywhere.
+        assert k4["relative_power"] < 1.0
+        # ACT/PRE counts fall, column accesses rise — more so as K grows.
+        assert k2["act_change"] > k4["act_change"] > k8["act_change"]
+        assert k2["cas_change"] < k4["cas_change"] < k8["cas_change"]
+    # K=8's extra column accesses erode its advantage at high core count
+    # (the paper's balance argument, where it even turns negative).
+    assert row(table, "#CL=8", 8)["relative_power"] > (
+        row(table, "#CL=4 (default)", 8)["relative_power"] - 0.02
+    )

@@ -1,0 +1,14 @@
+"""Section 4's idle-latency claim: 63 ns miss / 33 ns AMB-cache hit."""
+
+import pytest
+
+from repro.experiments import latency_breakdown
+
+
+def test_idle_latency_breakdown(bench_once):
+    table = bench_once(latency_breakdown.run)
+    by = {(r["system"], r["case"]): r["latency_ns"] for r in table.rows}
+    assert by[("FBD", "miss")] == pytest.approx(63.0)
+    assert by[("FBD-AP", "miss")] == pytest.approx(63.0)
+    assert by[("FBD-AP", "amb hit")] == pytest.approx(33.0)
+    assert by[("DDR2", "miss")] < by[("FBD", "miss")]

@@ -1,0 +1,44 @@
+"""Substrate validation and the prefetch-placement ablation."""
+
+import pytest
+from conftest import quick_ctx
+
+from repro.experiments import prefetch_location, validation
+
+
+def test_validation_stream_saturation(bench_once):
+    table = bench_once(lambda: validation.run_saturation(quick_ctx(20_000)))
+    print()
+    print(table.format())
+    rows = {r["stream_cores"]: r for r in table.rows}
+    # Northbound read peak of the default config is 4 x 5.33 GB/s; with
+    # enough streams the channels must run within a few percent of it.
+    assert rows[4]["bandwidth_gbs"] > 20.0
+    assert rows[8]["bandwidth_gbs"] > 20.0
+    # One stream cannot saturate (MSHR-bounded closed loop).
+    assert rows[1]["bandwidth_gbs"] < rows[4]["bandwidth_gbs"]
+    # Latency rises monotonically with offered load.
+    latencies = [rows[c]["latency_ns"] for c in (1, 2, 4)]
+    assert latencies == sorted(latencies)
+
+
+def test_validation_pointer_chase(bench_once):
+    table = bench_once(lambda: validation.run_pointer_chase(quick_ctx(20_000)))
+    print()
+    print(table.format())
+    # A dependent chain observes the 63 ns idle latency plus up to one
+    # southbound frame (6 ns) of alignment, ~3 ns on average.
+    assert 63.0 <= table.rows[0]["latency_ns"] <= 69.0
+
+
+def test_ablation_prefetch_location(bench_once):
+    table = bench_once(lambda: prefetch_location.run(quick_ctx(12_000)))
+    print()
+    print(table.format())
+    rows = {r["cores"]: r for r in table.rows}
+    # The paper's core argument: buffering in front of the channel is
+    # competitive when bandwidth is plentiful and loses badly at 8 cores.
+    assert rows[1]["controller_speedup"] > 1.0
+    assert rows[8]["amb_speedup"] > rows[8]["controller_speedup"]
+    # The controller placement pays with channel traffic.
+    assert rows[8]["controller_bw_gbs"] > rows[8]["amb_bw_gbs"]

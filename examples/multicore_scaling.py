@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Multi-core scaling study: the paper's motivating scenario.
+
+Multi-core processors multiply off-chip memory traffic (Section 1).  This
+example sweeps 1, 2, 4 and 8 cores over the three memory systems and shows
+where the FB-DIMM interconnect starts paying off and how much AMB
+prefetching adds on top — the content of Figures 4 and 7 in one view.
+
+Run:  python examples/multicore_scaling.py [--insts N]
+"""
+
+import argparse
+import dataclasses
+
+from repro import ddr2_baseline, fbdimm_amb_prefetch, fbdimm_baseline, run_system
+from repro.workloads.multiprog import workloads_by_cores, workload_programs
+
+
+def sum_ipc(config, programs, instructions):
+    config = dataclasses.replace(config, instructions_per_core=instructions)
+    return sum(run_system(config, programs).core_ipcs)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--insts", type=int, default=30_000)
+    args = parser.parse_args()
+
+    print(f"{'cores':>5} {'workload':>9} {'DDR2':>7} {'FBD':>7} {'FBD-AP':>7} "
+          f"{'FBD/DDR2':>9} {'AP gain':>8}")
+    for cores in (1, 2, 4, 8):
+        # One representative workload per core count keeps this example
+        # quick; the benchmark harness sweeps them all.
+        workload = workloads_by_cores(cores)[0]
+        programs = workload_programs(workload)
+        ddr2 = sum_ipc(ddr2_baseline(cores), programs, args.insts)
+        fbd = sum_ipc(fbdimm_baseline(cores), programs, args.insts)
+        ap = sum_ipc(fbdimm_amb_prefetch(cores), programs, args.insts)
+        print(
+            f"{cores:>5} {workload:>9} {ddr2:>7.3f} {fbd:>7.3f} {ap:>7.3f} "
+            f"{fbd / ddr2:>9.3f} {ap / fbd - 1:>+7.1%}"
+        )
+
+    print(
+        "\nExpected shape (paper Sections 5.1-5.2): FBD/DDR2 below 1.0 for"
+        "\n1-2 cores, above 1.0 by 8 cores; AP gain positive throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

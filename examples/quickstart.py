@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: measure what AMB prefetching buys on one workload.
+
+Builds three systems — the DDR2 baseline, plain FB-DIMM, and FB-DIMM with
+AMB prefetching — runs the same two-program workload on each, and prints
+the paper's headline metrics side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+import dataclasses
+
+from repro import (
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+    run_system,
+)
+
+PROGRAMS = ["wupwise", "swim"]  # workload 2C-1 of the paper
+INSTRUCTIONS = 60_000  # per core; raise for tighter numbers
+
+
+def main() -> None:
+    systems = {
+        "DDR2": ddr2_baseline(num_cores=2),
+        "FB-DIMM": fbdimm_baseline(num_cores=2),
+        "FB-DIMM + AMB prefetch": fbdimm_amb_prefetch(num_cores=2),
+    }
+
+    results = {}
+    for name, config in systems.items():
+        config = dataclasses.replace(config, instructions_per_core=INSTRUCTIONS)
+        results[name] = run_system(config, PROGRAMS)
+
+    header = (
+        f"{'system':<24} {'sum IPC':>8} {'read lat':>9} "
+        f"{'bandwidth':>10} {'coverage':>9}"
+    )
+    print(f"workload: {PROGRAMS}, {INSTRUCTIONS} instructions/core\n")
+    print(header)
+    print("-" * len(header))
+    for name, result in results.items():
+        print(
+            f"{name:<24} {sum(result.core_ipcs):>8.3f} "
+            f"{result.avg_read_latency_ns:>7.1f}ns "
+            f"{result.utilized_bandwidth_gbs:>7.2f}GB/s "
+            f"{result.prefetch_coverage:>9.3f}"
+        )
+
+    fbd = sum(results["FB-DIMM"].core_ipcs)
+    ap = sum(results["FB-DIMM + AMB prefetch"].core_ipcs)
+    print(f"\nAMB prefetching speedup over plain FB-DIMM: {ap / fbd - 1:+.1%}")
+    print("(The paper reports +19.4% on average for 2-core workloads.)")
+
+
+if __name__ == "__main__":
+    main()

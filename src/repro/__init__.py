@@ -1,0 +1,60 @@
+"""Reproduction of "DRAM-Level Prefetching for Fully-Buffered DIMM:
+Design, Performance and Power Saving" (Lin et al., ISPASS 2007).
+
+A trace-driven, event-accurate simulator of FB-DIMM and DDR2 memory
+subsystems with the paper's region-based AMB prefetching.  Quickstart::
+
+    from repro import fbdimm_amb_prefetch, fbdimm_baseline, run_system
+
+    base = run_system(fbdimm_baseline(num_cores=2), ["wupwise", "swim"])
+    ap = run_system(fbdimm_amb_prefetch(num_cores=2), ["wupwise", "swim"])
+    print(sum(ap.core_ipcs) / sum(base.core_ipcs))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config import (
+    AmbPrefetchConfig,
+    Associativity,
+    CpuConfig,
+    DramTimings,
+    InterleaveScheme,
+    MemoryConfig,
+    MemoryKind,
+    PagePolicy,
+    ReplacementPolicy,
+    SystemConfig,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.system import SimulationResult, System, run_system
+from repro.workloads.multiprog import SINGLE_CORE, WORKLOADS, workload_programs
+from repro.workloads.spec import PROGRAMS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmbPrefetchConfig",
+    "Associativity",
+    "CpuConfig",
+    "DramTimings",
+    "InterleaveScheme",
+    "MemoryConfig",
+    "MemoryKind",
+    "PagePolicy",
+    "ReplacementPolicy",
+    "SystemConfig",
+    "ddr2_baseline",
+    "fbdimm_amb_prefetch",
+    "fbdimm_baseline",
+    "SimulationResult",
+    "System",
+    "run_system",
+    "SINGLE_CORE",
+    "WORKLOADS",
+    "workload_programs",
+    "PROGRAMS",
+    "__version__",
+]

@@ -1,0 +1,239 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro run --workload 4C-1 --system fbd-ap
+    python -m repro compare --workload 8C-1 --insts 50000
+    python -m repro list
+
+``run`` simulates one system and prints a full report; ``compare`` runs
+DDR2, FB-DIMM and FB-DIMM+AP side by side; ``list`` shows the available
+programs and Table 3 workload mixes.  Regenerating the paper's figures
+lives under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Optional
+
+from repro.analysis.latency import LatencyDistribution
+from repro.analysis.report import run_report
+from repro.analysis.utilisation import channel_utilisation_report
+from repro.config import (
+    AmbPrefetchConfig,
+    Associativity,
+    SystemConfig,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.system import System
+from repro.workloads.multiprog import SINGLE_CORE, WORKLOADS, workload_programs
+
+SYSTEMS = ("ddr2", "fbd", "fbd-ap")
+
+ASSOCIATIVITIES = {
+    "direct": Associativity.DIRECT,
+    "2way": Associativity.TWO_WAY,
+    "4way": Associativity.FOUR_WAY,
+    "full": Associativity.FULL,
+}
+
+
+def _build_config(args, system: str) -> SystemConfig:
+    programs = workload_programs(args.workload)
+    cores = len(programs)
+    if system == "ddr2":
+        config = ddr2_baseline(num_cores=cores)
+    elif system == "fbd":
+        config = fbdimm_baseline(num_cores=cores)
+    else:
+        prefetch = AmbPrefetchConfig(
+            region_cachelines=args.k,
+            cache_entries=args.entries,
+            associativity=ASSOCIATIVITIES[args.assoc],
+        )
+        config = fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch)
+    return dataclasses.replace(
+        config,
+        instructions_per_core=args.insts,
+        seed=args.seed,
+        software_prefetch=not args.no_sw_prefetch,
+    )
+
+
+def _run_one(args, system: str):
+    programs = workload_programs(args.workload)
+    config = _build_config(args, system)
+    machine = System(config, programs)
+    if args.latency:
+        machine.controller.stats.enable_latency_capture()
+    return machine, machine.run()
+
+
+def cmd_run(args) -> int:
+    _, result = _run_one(args, args.system)
+    print(run_report(result))
+    if args.latency:
+        dist = LatencyDistribution.from_stats(result.mem)
+        print(f"\nlatency distribution: {dist.format()}")
+    if args.utilisation:
+        print("\nlink utilisation:")
+        for row in channel_utilisation_report(result.mem):
+            print(f"  {row.name:<24} {row.busy_fraction:6.1%}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    print(f"workload {args.workload}, {args.insts} instructions/core\n")
+    header = (
+        f"{'system':<8} {'sum IPC':>8} {'latency':>9} {'bandwidth':>10} "
+        f"{'ACT':>7} {'coverage':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline_ipc: Optional[float] = None
+    for system in SYSTEMS:
+        _, result = _run_one(args, system)
+        total_ipc = sum(result.core_ipcs)
+        if system == "ddr2":
+            baseline_ipc = total_ipc
+        print(
+            f"{system:<8} {total_ipc:>8.3f} "
+            f"{result.avg_read_latency_ns:>7.1f}ns "
+            f"{result.utilized_bandwidth_gbs:>7.2f}GB/s "
+            f"{result.mem.activates:>7} {result.prefetch_coverage:>9.3f}"
+        )
+    if baseline_ipc:
+        print(f"\n(speedups are relative to DDR2 = {baseline_ipc:.3f} sum-IPC)")
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("programs (single-core workloads):")
+    print(" ", ", ".join(SINGLE_CORE))
+    print("\nmultiprogrammed workloads (Table 3):")
+    for name, programs in WORKLOADS.items():
+        print(f"  {name:<5} {', '.join(programs)}")
+    return 0
+
+
+#: Sweepable axes for the ``sweep`` subcommand and how each value parses.
+SWEEP_AXES = {
+    "k": int,
+    "entries": int,
+    "assoc": str,
+    "rate": int,
+    "channels": int,
+}
+
+
+def _parse_axes(specs) -> dict:
+    """Parse ["k=2,4,8", "rate=667,800"] into {"k": [2,4,8], ...}."""
+    axes = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise SystemExit(f"bad axis {spec!r}; expected name=v1,v2,...")
+        name, _, values = spec.partition("=")
+        if name not in SWEEP_AXES:
+            raise SystemExit(
+                f"unknown axis {name!r}; choices: {sorted(SWEEP_AXES)}"
+            )
+        cast = SWEEP_AXES[name]
+        axes[name] = [cast(v) for v in values.split(",") if v]
+        if not axes[name]:
+            raise SystemExit(f"axis {name!r} has no values")
+    if not axes:
+        raise SystemExit("sweep needs at least one axis (e.g. k=2,4,8)")
+    return axes
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.charts import bar_chart
+    from repro.experiments.runner import ExperimentContext
+    from repro.experiments.sweep import Sweep
+
+    axes = _parse_axes(args.axes)
+    programs = workload_programs(args.workload)
+    cores = len(programs)
+
+    def build(k=4, entries=64, assoc="full", rate=667, channels=2):
+        prefetch = AmbPrefetchConfig(
+            region_cachelines=k,
+            cache_entries=entries,
+            associativity=ASSOCIATIVITIES[assoc],
+        )
+        return fbdimm_amb_prefetch(
+            num_cores=cores,
+            prefetch=prefetch,
+            data_rate_mts=rate,
+            logic_channels=channels,
+        )
+
+    sweep = Sweep(
+        axes=axes, build=build, workload=args.workload, metric_name="sum_ipc"
+    )
+    ctx = ExperimentContext(instructions=args.insts, seed=args.seed)
+    table = sweep.run(ctx, metric=lambda r: sum(r.core_ipcs))
+    print(table.format())
+    print()
+    print(bar_chart(table, "sum_ipc", label_columns=list(axes), width=40))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FB-DIMM / AMB-prefetching simulator (ISPASS 2007 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_args(p):
+        p.add_argument("--workload", default="4C-1",
+                       help="a program name or a Table 3 mix (see 'list')")
+        p.add_argument("--insts", type=int, default=50_000)
+        p.add_argument("--seed", type=int, default=12345)
+        p.add_argument("--no-sw-prefetch", action="store_true")
+        p.add_argument("--k", type=int, default=4,
+                       help="region cachelines for fbd-ap")
+        p.add_argument("--entries", type=int, default=64)
+        p.add_argument("--assoc", choices=sorted(ASSOCIATIVITIES), default="full")
+        p.add_argument("--latency", action="store_true",
+                       help="capture and print the latency distribution")
+        p.add_argument("--utilisation", action="store_true",
+                       help="print per-link busy fractions")
+
+    run_p = sub.add_parser("run", help="simulate one system")
+    add_run_args(run_p)
+    run_p.add_argument("--system", choices=SYSTEMS, default="fbd-ap")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="DDR2 vs FBD vs FBD-AP")
+    add_run_args(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    list_p = sub.add_parser("list", help="show programs and workloads")
+    list_p.set_defaults(func=cmd_list)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep fbd-ap knobs, e.g. sweep k=2,4,8 rate=667,800"
+    )
+    sweep_p.add_argument("axes", nargs="+",
+                         help=f"axis=v1,v2,... from {sorted(SWEEP_AXES)}")
+    sweep_p.add_argument("--workload", default="4C-1")
+    sweep_p.add_argument("--insts", type=int, default=20_000)
+    sweep_p.add_argument("--seed", type=int, default=12345)
+    sweep_p.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

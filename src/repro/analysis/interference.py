@@ -1,0 +1,70 @@
+"""Multiprogrammed interference analysis.
+
+The SMT-speedup metric (Section 4.2) sums per-program slowdowns but hides
+*who* pays for the sharing.  This module breaks a multi-core run down by
+core: per-program memory latency, relative slowdown against a solo
+reference, and a min/max fairness ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class CoreInterference:
+    """One core's view of a shared memory system."""
+
+    core_id: int
+    program: str
+    ipc: float
+    demand_reads: int
+    avg_latency_ns: float
+    relative_progress: Optional[float]  # IPC / solo IPC, if reference given
+
+
+def per_core_breakdown(
+    result: SimulationResult,
+    reference_ipcs: Optional[Dict[str, float]] = None,
+) -> List[CoreInterference]:
+    """Per-core latency/progress rows for a finished run."""
+    rows: List[CoreInterference] = []
+    for core_id, (program, ipc) in enumerate(
+        zip(result.programs, result.core_ipcs)
+    ):
+        reads, latency_sum = result.mem.per_core_reads.get(core_id, [0, 0])
+        avg_latency = latency_sum / reads / 1000.0 if reads else 0.0
+        relative = None
+        if reference_ipcs and program in reference_ipcs:
+            solo = reference_ipcs[program]
+            relative = ipc / solo if solo > 0 else None
+        rows.append(
+            CoreInterference(
+                core_id=core_id,
+                program=program,
+                ipc=ipc,
+                demand_reads=reads,
+                avg_latency_ns=avg_latency,
+                relative_progress=relative,
+            )
+        )
+    return rows
+
+
+def fairness_ratio(
+    result: SimulationResult, reference_ipcs: Dict[str, float]
+) -> float:
+    """min/max of per-core relative progress — 1.0 is perfectly fair.
+
+    The denominator matters: a mix where one program keeps 95 % of its
+    solo IPC while another keeps 40 % shares badly even if the SMT speedup
+    looks healthy.
+    """
+    rows = per_core_breakdown(result, reference_ipcs)
+    progresses = [r.relative_progress for r in rows if r.relative_progress]
+    if not progresses:
+        raise ValueError("no reference IPCs matched the run's programs")
+    return min(progresses) / max(progresses)

@@ -1,0 +1,72 @@
+"""Human-readable run reports (used by the CLI and the examples)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.stats import metrics
+from repro.system import SimulationResult
+
+
+def run_report(result: SimulationResult) -> str:
+    """Multi-line summary of one simulation run."""
+    lines: List[str] = []
+    cfg = result.config
+    memory = cfg.memory
+    lines.append(
+        f"system: {memory.kind.value}, {memory.logic_channels} logic channels "
+        f"({memory.physical_channels} physical), {memory.dimms_per_channel} "
+        f"DIMMs/channel, {memory.data_rate_mts} MT/s"
+    )
+    prefetch = memory.prefetch
+    if prefetch.enabled:
+        assoc = prefetch.associativity.name.lower()
+        lines.append(
+            f"AMB prefetching: K={prefetch.region_cachelines}, "
+            f"{prefetch.cache_entries} entries/AMB, {assoc} associativity, "
+            f"{prefetch.replacement.value} replacement"
+        )
+    else:
+        lines.append("AMB prefetching: off")
+    lines.append(
+        f"workload: {result.programs} "
+        f"({cfg.instructions_per_core} instructions/core, seed {cfg.seed})"
+    )
+    lines.append(f"simulated time: {result.elapsed_ps / 1e6:.2f} us")
+    lines.append("")
+    lines.append(
+        f"{'core':>4} {'program':<10} {'insts':>9} {'IPC':>7} "
+        f"{'reads':>7} {'avg lat':>9}"
+    )
+    per_core = result.mem.per_core_reads
+    for idx, (program, insts, ipc) in enumerate(
+        zip(result.programs, result.core_instructions, result.core_ipcs)
+    ):
+        reads, latency_sum = per_core.get(idx, [0, 0])
+        avg_lat = f"{latency_sum / reads / 1000:.1f}ns" if reads else "-"
+        lines.append(
+            f"{idx:>4} {program:<10} {insts:>9} {ipc:>7.3f} "
+            f"{reads:>7} {avg_lat:>9}"
+        )
+    lines.append("")
+    mem = result.mem
+    lines.append(
+        f"memory: {mem.demand_reads} demand reads, "
+        f"{mem.sw_prefetch_reads} sw-prefetch reads, {mem.writes} writes"
+    )
+    lines.append(
+        f"  avg demand latency {result.avg_read_latency_ns:.1f} ns "
+        f"(queueing {metrics.average_queue_delay_ns(mem):.1f} ns), "
+        f"utilised bandwidth {result.utilized_bandwidth_gbs:.2f} GB/s"
+    )
+    lines.append(
+        f"  DRAM ops: {mem.activates} ACT/PRE pairs, "
+        f"{mem.column_accesses} column accesses"
+    )
+    if prefetch.enabled:
+        lines.append(
+            f"  AMB cache: coverage {result.prefetch_coverage:.1%}, "
+            f"efficiency {result.prefetch_efficiency:.1%}, "
+            f"{mem.prefetched_lines} lines prefetched"
+        )
+    return "\n".join(lines)

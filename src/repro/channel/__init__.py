@@ -1,0 +1,13 @@
+"""Interconnect models: the FB-DIMM two-level structure and the DDR2 baseline.
+
+First level: narrow, high-speed southbound/northbound FB-DIMM links between
+the controller and the daisy-chained AMBs.  Second level: a private DDR2 bus
+per DIMM behind its AMB.  The DDR2 baseline instead shares one command bus
+and one data bus among all DIMMs of a channel.
+"""
+
+from repro.channel.fbdimm_link import FbdimmLinks
+from repro.channel.amb import Amb
+from repro.channel.ddr2_bus import Ddr2Dimm
+
+__all__ = ["FbdimmLinks", "Amb", "Ddr2Dimm"]

@@ -1,0 +1,201 @@
+"""The Advanced Memory Buffer of one DIMM, with its AMB cache.
+
+The AMB owns the DIMM's private DDR2 data bus and logic banks.  Under AMB
+prefetching it executes the *group fetch* of Section 3.2: one special
+command from the controller becomes one ACT plus K pipelined column
+accesses; the demanded line is forwarded north immediately (cut-through)
+while the K-1 prefetched lines stream into the AMB cache.
+
+The tag store (:class:`~repro.controller.prefetch_table.PrefetchTable`)
+lives logically at the memory controller; it is instantiated here per-AMB
+because its contents mirror this AMB's data array one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import MemoryConfig
+from repro.controller.mapping import MappedAddress
+from repro.controller.prefetch_table import PrefetchTable
+from repro.dram.bank import AccessResult, Bank, RankTimer
+from repro.dram.resources import BusResource
+from repro.dram.timing import TimingPs
+
+
+@dataclass
+class GroupFetch:
+    """Outcome of a demand miss under AMB prefetching.
+
+    Attributes:
+        demanded_start: Cut-through start of the demanded line's burst.
+        fills: line address -> fill completion time for the prefetched lines.
+        last_fill: When the whole group is resident in the AMB cache.
+    """
+
+    demanded_start: int
+    fills: Dict[int, int]
+    last_fill: int
+
+
+class Amb:
+    """One DIMM behind its Advanced Memory Buffer."""
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        timing: TimingPs,
+        channel_id: int,
+        dimm_id: int,
+    ) -> None:
+        self.config = config
+        self.timing = timing
+        self.dimm_id = dimm_id
+        self.data_bus = BusResource(f"ch{channel_id}.dimm{dimm_id}.ddr2")
+        # All ranks of the DIMM share the AMB's DDR2 bus; each rank has
+        # its own cross-bank timer (tRRD/tWTR) and logic banks.
+        self.rank_timers = [RankTimer() for _ in range(config.ranks_per_dimm)]
+        self.banks = [
+            Bank(bank_id=b, timing=timing, page_policy=config.page_policy)
+            for b in range(config.ranks_per_dimm * config.banks_per_dimm)
+        ]
+        from repro.config import PrefetchLocation
+
+        has_amb_cache = (
+            config.prefetch.enabled
+            and config.prefetch.location is PrefetchLocation.AMB
+        )
+        self.table: Optional[PrefetchTable] = (
+            PrefetchTable(config.prefetch) if has_amb_cache else None
+        )
+        #: In-flight group fetches: region id -> {line -> fill time}.
+        #: A read that arrives while its region is still streaming into the
+        #: AMB cache merges with the fill instead of re-fetching.
+        self.pending_fills: Dict[int, Dict[int, int]] = {}
+        self.prefetched_lines = 0  # lines written into the AMB cache
+
+    # ------------------------------------------------------------------
+    # Rank/bank resolution
+    # ------------------------------------------------------------------
+
+    def bank_of(self, mapped: MappedAddress) -> Bank:
+        """The logic bank a mapped address lives in."""
+        return self.banks[mapped.rank * self.config.banks_per_dimm + mapped.bank]
+
+    def timer_of(self, mapped: MappedAddress) -> RankTimer:
+        """The rank-level timing tracker for a mapped address."""
+        return self.rank_timers[mapped.rank]
+
+    # ------------------------------------------------------------------
+    # Demand path without prefetching
+    # ------------------------------------------------------------------
+
+    def read_line(self, earliest: int, mapped: MappedAddress) -> AccessResult:
+        """Plain single-line read (FB-DIMM baseline)."""
+        return self.bank_of(mapped).read(
+            earliest, mapped.row, 1, self.data_bus, self.timer_of(mapped)
+        )
+
+    def write_line(self, earliest: int, mapped: MappedAddress) -> AccessResult:
+        """Single-line write; invalidates any stale AMB-cache copy."""
+        return self.bank_of(mapped).write(
+            earliest, mapped.row, self.data_bus, self.timer_of(mapped)
+        )
+
+    # ------------------------------------------------------------------
+    # AMB prefetching
+    # ------------------------------------------------------------------
+
+    def cache_lookup(self, line_addr: int) -> Optional[int]:
+        """Probe the AMB cache (tags at the controller) for a read.
+
+        Returns the time at which the data is (or will be) available at the
+        AMB — 0 for already-resident lines — or None on a miss.  Pending
+        group fetches count as hits that become ready at their fill time.
+        """
+        assert self.table is not None, "cache_lookup requires prefetching"
+        if self.table.lookup(line_addr):
+            return 0
+        region = line_addr // self.config.prefetch.region_cachelines
+        pending = self.pending_fills.get(region)
+        if pending is not None and line_addr in pending:
+            self.table.stats.hits += 1  # merged with an in-flight fill
+            return pending[line_addr]
+        return None
+
+    def group_order(self, demanded_line: int) -> List[int]:
+        """The region's lines in fetch order: demanded first, rest by
+        address (Section 3.2)."""
+        k = self.config.prefetch.region_cachelines
+        base = (demanded_line // k) * k
+        return [demanded_line] + [
+            line for line in range(base, base + k) if line != demanded_line
+        ]
+
+    def group_read(
+        self, earliest: int, mapped: MappedAddress, order: List[int]
+    ) -> AccessResult:
+        """Issue one ACT plus len(order) pipelined column accesses.
+
+        Raw DRAM-side group read shared by both prefetch placements (AMB
+        cache here, or a controller-side buffer across the channel).
+        """
+        return self.bank_of(mapped).read(
+            earliest, mapped.row, len(order), self.data_bus, self.timer_of(mapped)
+        )
+
+    def group_fetch(
+        self, earliest: int, mapped: MappedAddress, demanded_line: int
+    ) -> GroupFetch:
+        """Fetch the demanded line plus its region into the AMB cache.
+
+        The demanded line's column access is issued first; the remaining
+        lines of the region follow in address order, fully pipelined on the
+        DIMM's DDR2 bus (Section 3.2: burst length is unchanged, the AMB
+        simply issues multiple column accesses).
+        """
+        assert self.table is not None
+        k = self.config.prefetch.region_cachelines
+        region, _ = divmod(demanded_line, k)
+        order = self.group_order(demanded_line)
+        result = self.group_read(earliest, mapped, order)
+
+        fills: Dict[int, int] = {}
+        for line, fill_time in zip(order[1:], result.data_times[1:]):
+            fills[line] = fill_time
+        if fills:
+            self.pending_fills[region] = fills
+            self.prefetched_lines += len(fills)
+        return GroupFetch(
+            demanded_start=result.data_starts[0],
+            fills=fills,
+            last_fill=result.data_times[-1] if fills else result.data_times[0],
+        )
+
+    def commit_fills(self, region: int) -> None:
+        """Move a completed group fetch from pending state into the tags."""
+        assert self.table is not None
+        fills = self.pending_fills.pop(region, None)
+        if fills:
+            self.table.insert(fills.keys())
+
+    def invalidate(self, line_addr: int) -> None:
+        """A write to ``line_addr`` makes any AMB copy stale."""
+        if self.table is None:
+            return
+        self.table.invalidate(line_addr)
+        region = line_addr // self.config.prefetch.region_cachelines
+        pending = self.pending_fills.get(region)
+        if pending is not None:
+            pending.pop(line_addr, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def bank_operation_counts(self) -> "tuple[int, int]":
+        """(activate/precharge pairs, column accesses) across all banks."""
+        acts = sum(b.stats.activates for b in self.banks)
+        cols = sum(b.stats.reads + b.stats.writes for b in self.banks)
+        return acts, cols

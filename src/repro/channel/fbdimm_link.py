@@ -1,0 +1,94 @@
+"""The FB-DIMM channel: two unidirectional, independently scheduled links.
+
+Frame-accurate model (see :mod:`repro.channel.frames`).  Per memory frame —
+two DRAM clocks, 6 ns at 667 MT/s:
+
+* the **southbound** link carries three commands, or one command plus 16 B
+  of write data (so a 64 B write needs four data frames);
+* the **northbound** link carries 32 B of read data (two frames per line),
+  which makes its peak bandwidth equal to one DDR2 channel's.
+
+The AMBs form a daisy chain at ``amb_hop_ns`` per hop.  With Variable Read
+Latency (VRL) disabled — the paper's default — every DIMM presents the
+latency of the farthest DIMM, so the hop penalty is ``n_dimms * hop``
+regardless of which DIMM answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.frames import NorthboundLink, SouthboundLink
+from repro.config import MemoryConfig
+from repro.engine.simulator import ns
+
+
+@dataclass(frozen=True)
+class ReadReturn:
+    """Timing of one cacheline travelling north.
+
+    Attributes:
+        link_start: When the first frame enters the northbound link.
+        critical_at_mc: First 32 B frame (critical word) at the controller.
+        full_at_mc: Entire line at the controller.
+    """
+
+    link_start: int
+    critical_at_mc: int
+    full_at_mc: int
+
+
+class FbdimmLinks:
+    """South/northbound links of one physical FB-DIMM channel."""
+
+    def __init__(self, config: MemoryConfig, channel_id: int) -> None:
+        self.frame_ps = config.frame_ps
+        self.command_delay_ps = ns(config.command_delay_ns)
+        self.hop_ps = ns(config.amb_hop_ns)
+        self.n_dimms = config.dimms_per_channel
+        self.vrl = config.variable_read_latency
+        self.write_frames = max(
+            1, config.cacheline_bytes // 16
+        )  # 16 B write data per southbound frame
+        self.read_frames = max(1, config.cacheline_bytes // 32)
+        self.south = SouthboundLink(f"ch{channel_id}.south", self.frame_ps)
+        self.north = NorthboundLink(
+            f"ch{channel_id}.north",
+            self.frame_ps,
+            phase_ps=self.command_delay_ps % self.frame_ps,
+        )
+
+    def hop_penalty(self, dimm: int) -> int:
+        """Daisy-chain forwarding delay charged on the read-return path."""
+        hops = (dimm + 1) if self.vrl else self.n_dimms
+        return hops * self.hop_ps
+
+    def send_command(self, earliest: int) -> int:
+        """Send one command south; return its arrival at the AMB."""
+        frame_start = self.south.reserve_command(earliest)
+        return frame_start + self.command_delay_ps
+
+    def send_write(self, earliest: int, dimm: int) -> int:
+        """Stream a command + a cacheline of write data south.
+
+        The command rides in the first data frame (1 command + 16 B per
+        frame).  Returns when the full write has arrived at the target AMB;
+        the DRAM write can begin then.
+        """
+        _, data_end = self.south.reserve_write_data(earliest, self.write_frames)
+        return data_end + self.command_delay_ps + self.hop_penalty(dimm)
+
+    def return_read(self, data_ready: int, dimm: int) -> ReadReturn:
+        """Carry one cacheline north once the AMB has (or is streaming) it.
+
+        ``data_ready`` is when the first beats are available at the AMB
+        (cut-through from the DIMM's DDR2 bus, or immediately for an
+        AMB-cache hit).
+        """
+        start, end = self.north.reserve_line(data_ready, self.read_frames)
+        penalty = self.hop_penalty(dimm)
+        return ReadReturn(
+            link_start=start,
+            critical_at_mc=start + self.frame_ps + penalty,
+            full_at_mc=end + penalty,
+        )

@@ -1,0 +1,173 @@
+"""Frame-accurate FB-DIMM link schedulers.
+
+The FB-DIMM channel moves data in fixed *frames* aligned to the frame
+clock (two DRAM clocks; 6 ns at 667 MT/s).  Per Section 2:
+
+* a **southbound** frame carries three commands, or one command plus 16 B
+  of write data;
+* a **northbound** frame carries 32 B of read data, so one 64 B cacheline
+  occupies two consecutive frames.
+
+These schedulers allocate whole frame slots on that aligned grid — the
+precise counterpart of the continuous-time :class:`BusResource`
+approximation, exposing the same ``busy_ps`` / ``prune_before`` surface so
+the channel controller can treat either uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Southbound frame capacity per Section 2.
+COMMANDS_PER_FRAME = 3
+COMMANDS_WITH_DATA = 1
+
+
+class SouthboundLink:
+    """Frame allocator for the command/write-data link."""
+
+    def __init__(self, name: str, frame_ps: int) -> None:
+        if frame_ps <= 0:
+            raise ValueError("frame period must be positive")
+        self.name = name
+        self.frame_ps = frame_ps
+        #: frame index -> [command_count, carries_data]
+        self._frames: Dict[int, List] = {}
+        self.frames_used = 0
+
+    # -- grid helpers -----------------------------------------------------
+
+    def _first_index_at(self, earliest: int) -> int:
+        return -(-earliest // self.frame_ps)  # ceil division
+
+    def frame_start(self, index: int) -> int:
+        return index * self.frame_ps
+
+    # -- allocation ---------------------------------------------------------
+
+    def reserve_command(self, earliest: int) -> int:
+        """Place one command in the first frame with a free command slot.
+
+        Returns the frame's start time (the command is on the wire from
+        then; decode latency is the caller's command-delay constant).
+        """
+        index = self._first_index_at(earliest)
+        while True:
+            state = self._frames.get(index)
+            if state is None:
+                self._frames[index] = [1, False]
+                self.frames_used += 1
+                break
+            commands, has_data = state
+            limit = COMMANDS_WITH_DATA if has_data else COMMANDS_PER_FRAME
+            if commands < limit:
+                state[0] += 1
+                break
+            index += 1
+        return self.frame_start(index)
+
+    def reserve_write_data(self, earliest: int, frames_needed: int) -> Tuple[int, int]:
+        """Stream write data over ``frames_needed`` data-capable frames.
+
+        Frames need not be contiguous (real channels interleave commands
+        between write-data frames).  Returns (first_frame_start, end_time
+        of the last frame).
+        """
+        if frames_needed < 1:
+            raise ValueError("need at least one data frame")
+        index = self._first_index_at(earliest)
+        first_start = None
+        placed = 0
+        while placed < frames_needed:
+            state = self._frames.get(index)
+            if state is None:
+                self._frames[index] = [0, True]
+                self.frames_used += 1
+            elif not state[1] and state[0] <= COMMANDS_WITH_DATA:
+                state[1] = True
+            else:
+                index += 1
+                continue
+            if first_start is None:
+                first_start = self.frame_start(index)
+            placed += 1
+            last_end = self.frame_start(index) + self.frame_ps
+            index += 1
+        assert first_start is not None
+        return first_start, last_end
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    @property
+    def busy_ps(self) -> int:
+        """Occupied wire time (frames that carry anything)."""
+        return self.frames_used * self.frame_ps
+
+    def prune_before(self, time_ps: int) -> None:
+        """Forget frames that ended at or before ``time_ps``."""
+        horizon = time_ps // self.frame_ps
+        stale = [idx for idx in self._frames if (idx + 1) * self.frame_ps <= time_ps]
+        for idx in stale:
+            del self._frames[idx]
+        del horizon
+
+
+class NorthboundLink:
+    """Frame allocator for the read-return link.
+
+    A cacheline's frames are allocated contiguously (the AMB streams the
+    burst); different cachelines backfill earlier holes freely.
+
+    ``phase_ps`` shifts the frame grid.  The links run phase-locked to the
+    command path: DRAM data becomes available ``command_delay`` after a
+    southbound frame boundary plus whole DRAM clocks, so anchoring the
+    northbound grid at that phase lets a just-ready burst catch a frame
+    immediately — which is how the paper's 63/33 ns budgets count.
+    """
+
+    def __init__(self, name: str, frame_ps: int, phase_ps: int = 0) -> None:
+        if frame_ps <= 0:
+            raise ValueError("frame period must be positive")
+        if not 0 <= phase_ps < frame_ps:
+            raise ValueError("phase must be within one frame")
+        self.name = name
+        self.frame_ps = frame_ps
+        self.phase_ps = phase_ps
+        self._taken: Dict[int, bool] = {}
+        self.frames_used = 0
+
+    def _first_index_at(self, earliest: int) -> int:
+        return max(0, -(-(earliest - self.phase_ps) // self.frame_ps))
+
+    def frame_start(self, index: int) -> int:
+        return index * self.frame_ps + self.phase_ps
+
+    def reserve_line(self, earliest: int, frames_needed: int) -> Tuple[int, int]:
+        """Allocate ``frames_needed`` contiguous frames at/after ``earliest``.
+
+        Returns (first_frame_start, last_frame_end).
+        """
+        if frames_needed < 1:
+            raise ValueError("need at least one frame")
+        index = self._first_index_at(earliest)
+        while True:
+            if all(index + k not in self._taken for k in range(frames_needed)):
+                for k in range(frames_needed):
+                    self._taken[index + k] = True
+                self.frames_used += frames_needed
+                start = self.frame_start(index)
+                return start, start + frames_needed * self.frame_ps
+            index += 1
+
+    @property
+    def busy_ps(self) -> int:
+        return self.frames_used * self.frame_ps
+
+    def prune_before(self, time_ps: int) -> None:
+        stale = [
+            idx
+            for idx in self._taken
+            if self.frame_start(idx) + self.frame_ps <= time_ps
+        ]
+        for idx in stale:
+            del self._taken[idx]

@@ -1,0 +1,467 @@
+"""Per-physical-channel issue engines.
+
+A channel controller owns one physical channel's queues and resources and
+turns scheduled requests into timed DRAM activity.  Two variants share the
+queueing/scheduling skeleton:
+
+* :class:`Ddr2ChannelController` — shared command + data bus, DIMMs directly
+  on the channel;
+* :class:`FbdimmChannelController` — southbound/northbound links, AMBs with
+  optional AMB-cache prefetching.
+
+Transactions are issued atomically: when the scheduler picks a request, the
+controller computes the whole command/data timeline against the bank state
+and bus reservations, then schedules a single completion event.  An
+in-flight cap bounds how far ahead resources can be reserved, which is what
+keeps the reordering window meaningful (like a real controller's finite
+command pipeline).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Optional
+
+from repro.channel.amb import Amb
+from repro.channel.ddr2_bus import Ddr2Dimm
+from repro.channel.fbdimm_link import FbdimmLinks
+from repro.config import MemoryConfig, PrefetchLocation
+from repro.controller.prefetch_table import PrefetchTable
+from repro.controller.scheduler import HitFirstScheduler
+from repro.controller.transaction import MemoryRequest, RequestKind
+from repro.dram.resources import BusResource, TaggedBusResource
+from repro.dram.timing import TimingPs
+from repro.engine.simulator import Simulator
+from repro.stats.collector import MemSystemStats
+
+
+class ChannelControllerBase:
+    """Queueing, scheduling and completion plumbing shared by both kinds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MemoryConfig,
+        timing: TimingPs,
+        channel_id: int,
+        stats: MemSystemStats,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.timing = timing
+        self.channel_id = channel_id
+        self.stats = stats
+        self.read_q: Deque[MemoryRequest] = deque()
+        self.write_q: Deque[MemoryRequest] = deque()
+        self.scheduler = HitFirstScheduler(config.write_drain_threshold)
+        # Separate read/write in-flight caps: a write drain may not
+        # monopolise the issue pipeline and starve ready reads (writes are
+        # posted; reads are latency-critical).
+        self.max_read_inflight = max(8, 2 * config.dimms_per_channel)
+        self.max_write_inflight = max(4, config.dimms_per_channel)
+        self.inflight_reads = 0
+        self.inflight_writes = 0
+        self._wake = None  # pending kick event, at most one outstanding
+
+    # -- queue interface -------------------------------------------------
+
+    def submit(self, req: MemoryRequest) -> None:
+        """Accept a mapped, schedulable request into this channel's queues."""
+        if req.kind is RequestKind.WRITE:
+            self.write_q.append(req)
+        else:
+            self.read_q.append(req)
+        self._request_kick(self.sim.now)
+
+    def queue_len(self) -> int:
+        """Requests waiting (not yet issued) on this channel."""
+        return len(self.read_q) + len(self.write_q)
+
+    # -- scheduling loop --------------------------------------------------
+
+    def _request_kick(self, time: int) -> None:
+        if self._wake is not None and not self._wake.cancelled:
+            if self._wake.time <= time:
+                return
+            self._wake.cancel()
+        self._wake = self.sim.schedule_at(time, self._kick)
+
+    _EMPTY: Deque[MemoryRequest] = deque()
+
+    def _kick(self) -> None:
+        self._wake = None
+        now = self.sim.now
+        self._prune(now)
+        while True:
+            reads = self.read_q if self.inflight_reads < self.max_read_inflight else self._EMPTY
+            writes = (
+                self.write_q
+                if self.inflight_writes < self.max_write_inflight
+                else self._EMPTY
+            )
+            if not reads and not writes:
+                return
+            choice = self.scheduler.select(
+                now, reads, writes, self._estimate, self._is_hit
+            )
+            if choice is None:
+                return
+            req, est, from_writes = choice
+            if est > now:
+                self._request_kick(est)
+                return
+            if from_writes:
+                self.write_q.remove(req)
+                self.inflight_writes += 1
+            else:
+                self.read_q.remove(req)
+                self.inflight_reads += 1
+            req.issue_time = now
+            self.stats.note_activity(now)
+            self._issue(req)
+
+    def _start_refresh(self, rank_banks) -> None:
+        """Arm periodic all-bank refresh per rank, staggered across ranks.
+
+        Off by default (refresh_interval_ns == 0).  Note: once armed, the
+        event queue never drains — run loops must stop via an explicit
+        condition (System.run does; bare-controller tests should leave
+        refresh off or use Simulator.run(until=...)).
+        """
+        from repro.engine.simulator import ns as to_ps
+
+        interval = to_ps(self.config.refresh_interval_ns)
+        if interval <= 0:
+            return
+        trfc = to_ps(self.config.refresh_cycle_ns)
+        for index, banks in enumerate(rank_banks):
+            offset = (interval * index) // max(1, len(rank_banks))
+
+            def loop(banks=banks) -> None:
+                for bank in banks:
+                    bank.refresh(self.sim.now, trfc)
+                self.sim.schedule(interval, lambda: loop(banks))
+
+            self.sim.schedule_at(offset + interval, lambda b=banks: loop(b))
+
+    def _finish_at(self, req: MemoryRequest, finish_time: int) -> None:
+        """Schedule the completion event for an issued transaction."""
+        self.sim.schedule_at(finish_time, lambda: self._complete(req))
+
+    def _complete(self, req: MemoryRequest) -> None:
+        if req.kind is RequestKind.WRITE:
+            self.inflight_writes -= 1
+        else:
+            self.inflight_reads -= 1
+        now = self.sim.now
+        self.stats.note_activity(now)
+        queue_delay = max(0, req.issue_time - req.schedulable_at)
+        if req.kind is RequestKind.WRITE:
+            self.stats.record_write_completion(self.config.cacheline_bytes)
+        else:
+            self.stats.record_read_completion(
+                latency_ps=now - req.arrival,
+                queue_delay_ps=queue_delay,
+                is_demand=req.kind is RequestKind.DEMAND_READ,
+                amb_hit=req.amb_hit,
+                line_bytes=self.config.cacheline_bytes,
+                core_id=req.core_id,
+            )
+        req.complete(now)
+        if self.read_q or self.write_q:
+            self._request_kick(now)
+
+    # -- hooks implemented per channel kind --------------------------------
+
+    def _prune(self, now: int) -> None:
+        """Drop expired bus reservations (keeps backfill searches short)."""
+        raise NotImplementedError
+
+    def _estimate(self, req: MemoryRequest) -> int:
+        raise NotImplementedError
+
+    def _is_hit(self, req: MemoryRequest) -> bool:
+        raise NotImplementedError
+
+    def _issue(self, req: MemoryRequest) -> None:
+        raise NotImplementedError
+
+    def collect_device_counters(self) -> "dict":
+        """Side-effect-free snapshot of device activity (see controller
+        finalize/warmup)."""
+        raise NotImplementedError
+
+
+class Ddr2ChannelController(ChannelControllerBase):
+    """One conventional DDR2 channel: shared command and data buses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MemoryConfig,
+        timing: TimingPs,
+        channel_id: int,
+        stats: MemSystemStats,
+    ) -> None:
+        super().__init__(sim, config, timing, channel_id, stats)
+        gap = round(config.ddr2_switch_gap_clocks * timing.clock)
+        self.data_bus = TaggedBusResource(f"ddr2-ch{channel_id}.data", switch_gap_ps=gap)
+        self.command_bus = BusResource(f"ddr2-ch{channel_id}.cmd")
+        self.dimms = [
+            Ddr2Dimm(config, timing, channel_id, d, self.data_bus, self.command_bus)
+            for d in range(config.dimms_per_channel)
+        ]
+        self._start_refresh([dimm.banks for dimm in self.dimms])
+
+    def _prune(self, now: int) -> None:
+        self.data_bus.prune_before(now)
+        self.command_bus.prune_before(now)
+
+    def _estimate(self, req: MemoryRequest) -> int:
+        dimm = self.dimms[req.mapped.dimm]
+        bank = dimm.bank_of(req.mapped)
+        return bank.earliest_start(self.sim.now, req.mapped.row, dimm.timer_of(req.mapped))
+
+    def _is_hit(self, req: MemoryRequest) -> bool:
+        dimm = self.dimms[req.mapped.dimm]
+        return dimm.bank_of(req.mapped).is_row_hit(req.mapped.row)
+
+    def _issue(self, req: MemoryRequest) -> None:
+        dimm = self.dimms[req.mapped.dimm]
+        if req.kind is RequestKind.WRITE:
+            result = dimm.write_line(self.sim.now, req.mapped)
+        else:
+            result = dimm.read_line(self.sim.now, req.mapped)
+        req.row_hit = result.row_hit
+        self._finish_at(req, result.data_times[0])
+
+    def collect_device_counters(self) -> "dict":
+        """Snapshot of DRAM-operation counts and bus occupancy."""
+        counters = {
+            "activates": 0, "column_accesses": 0, "prefetched_lines": 0,
+            "row_hits": 0, "row_misses": 0,
+            "busy": {self.data_bus.name: self.data_bus.busy_ps},
+        }
+        for dimm in self.dimms:
+            acts, cols = dimm.bank_operation_counts()
+            counters["activates"] += acts
+            counters["column_accesses"] += cols
+            for bank in dimm.banks:
+                counters["row_hits"] += bank.stats.row_hits
+                counters["row_misses"] += bank.stats.row_misses
+        return counters
+
+
+class FbdimmChannelController(ChannelControllerBase):
+    """One FB-DIMM physical channel with daisy-chained AMBs.
+
+    With ``config.prefetch.enabled`` the controller consults the prefetch
+    information table before issuing: hits are served straight from the AMB
+    cache (Section 3.2), misses become group fetches that fill it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MemoryConfig,
+        timing: TimingPs,
+        channel_id: int,
+        stats: MemSystemStats,
+    ) -> None:
+        super().__init__(sim, config, timing, channel_id, stats)
+        self.links = FbdimmLinks(config, channel_id)
+        self.ambs = [
+            Amb(config, timing, channel_id, d) for d in range(config.dimms_per_channel)
+        ]
+        self._start_refresh([amb.banks for amb in self.ambs])
+        self.prefetch = config.prefetch
+        # FBD-APFL (Figure 9): hits pay the full DRAM idle latency
+        # (tRCD + tCL) but keep the bank idle.
+        self.hit_extra_ps = (
+            timing.tRCD + timing.tCL if self.prefetch.full_latency_hits else 0
+        )
+        # Controller-side buffering (PrefetchLocation.CONTROLLER): one tag
+        # store per channel at the memory controller, with the same total
+        # capacity as this channel's AMB caches would have had.
+        self.mc_table: Optional[PrefetchTable] = None
+        self.mc_pending: "dict[int, dict[int, int]]" = {}
+        self.mc_prefetched_lines = 0
+        if (
+            self.prefetch.enabled
+            and self.prefetch.location is PrefetchLocation.CONTROLLER
+        ):
+            scaled = dataclasses.replace(
+                self.prefetch,
+                cache_entries=self.prefetch.cache_entries
+                * config.dimms_per_channel,
+            )
+            self.mc_table = PrefetchTable(scaled)
+
+    def _prune(self, now: int) -> None:
+        self.links.north.prune_before(now)
+        self.links.south.prune_before(now)
+        for amb in self.ambs:
+            amb.data_bus.prune_before(now)
+
+    # -- estimates ---------------------------------------------------------
+
+    def _amb_for(self, req: MemoryRequest) -> Amb:
+        return self.ambs[req.mapped.dimm]
+
+    def _probe_cache(self, amb: Amb, line_addr: int) -> Optional[int]:
+        """Stat-free availability probe used while scheduling."""
+        region = line_addr // self.prefetch.region_cachelines
+        if self.mc_table is not None:
+            if self.mc_table.contains(line_addr):
+                return 0
+            pending = self.mc_pending.get(region)
+            if pending is not None and line_addr in pending:
+                return pending[line_addr]
+            return None
+        if amb.table is None:
+            return None
+        if amb.table.contains(line_addr):
+            return 0
+        pending = amb.pending_fills.get(region)
+        if pending is not None and line_addr in pending:
+            return pending[line_addr]
+        return None
+
+    def _estimate(self, req: MemoryRequest) -> int:
+        amb = self._amb_for(req)
+        if self.prefetch.enabled and req.kind.is_read:
+            avail = self._probe_cache(amb, req.line_addr)
+            if avail is not None:
+                return max(self.sim.now, avail)
+        bank = amb.bank_of(req.mapped)
+        return bank.earliest_start(self.sim.now, req.mapped.row, amb.timer_of(req.mapped))
+
+    def _is_hit(self, req: MemoryRequest) -> bool:
+        amb = self._amb_for(req)
+        if self.prefetch.enabled and req.kind.is_read:
+            if self._probe_cache(amb, req.line_addr) is not None:
+                return True
+        return amb.bank_of(req.mapped).is_row_hit(req.mapped.row)
+
+    # -- issue paths ---------------------------------------------------------
+
+    def _issue(self, req: MemoryRequest) -> None:
+        if req.kind is RequestKind.WRITE:
+            self._issue_write(req)
+        elif self.prefetch.enabled:
+            self._issue_read_prefetching(req)
+        else:
+            self._issue_read_plain(req)
+
+    def _issue_write(self, req: MemoryRequest) -> None:
+        amb = self._amb_for(req)
+        amb.invalidate(req.line_addr)
+        if self.mc_table is not None:
+            self.mc_table.invalidate(req.line_addr)
+            region = req.line_addr // self.prefetch.region_cachelines
+            pending = self.mc_pending.get(region)
+            if pending is not None:
+                pending.pop(req.line_addr, None)
+        arrival = self.links.send_write(self.sim.now, req.mapped.dimm)
+        result = amb.write_line(arrival, req.mapped)
+        req.row_hit = result.row_hit
+        self._finish_at(req, result.data_times[0])
+
+    def _issue_read_plain(self, req: MemoryRequest) -> None:
+        amb = self._amb_for(req)
+        arrival = self.links.send_command(self.sim.now)
+        result = amb.read_line(arrival, req.mapped)
+        req.row_hit = result.row_hit
+        ret = self.links.return_read(result.data_starts[0], req.mapped.dimm)
+        self._finish_at(req, ret.critical_at_mc)
+
+    def _issue_read_prefetching(self, req: MemoryRequest) -> None:
+        if self.mc_table is not None:
+            self._issue_read_mc_prefetching(req)
+            return
+        amb = self._amb_for(req)
+        available = amb.cache_lookup(req.line_addr)
+        arrival = self.links.send_command(self.sim.now)
+        if available is not None:
+            req.amb_hit = True
+            # FBD-APFL charges the hit the tRCD + tCL a miss would pay; it
+            # is not additive with an in-flight fill's completion time.
+            ready = max(arrival + self.hit_extra_ps, available)
+            ret = self.links.return_read(ready, req.mapped.dimm)
+            self._finish_at(req, ret.critical_at_mc)
+            return
+        group = amb.group_fetch(arrival, req.mapped, req.line_addr)
+        ret = self.links.return_read(group.demanded_start, req.mapped.dimm)
+        region = req.line_addr // self.prefetch.region_cachelines
+        self.sim.schedule_at(
+            group.last_fill, lambda a=amb, r=region: a.commit_fills(r)
+        )
+        self._finish_at(req, ret.critical_at_mc)
+
+    def _issue_read_mc_prefetching(self, req: MemoryRequest) -> None:
+        """PrefetchLocation.CONTROLLER: the whole region crosses the channel.
+
+        Hits are served from the controller buffer with no channel activity
+        at all; misses pay K northbound line transfers instead of one -
+        exactly the channel-bandwidth cost the paper's AMB placement avoids.
+        """
+        assert self.mc_table is not None
+        region = req.line_addr // self.prefetch.region_cachelines
+        if self.mc_table.lookup(req.line_addr):
+            req.amb_hit = True
+            self._finish_at(req, self.sim.now)
+            return
+        pending = self.mc_pending.get(region)
+        if pending is not None and req.line_addr in pending:
+            self.mc_table.stats.hits += 1
+            req.amb_hit = True
+            self._finish_at(req, max(self.sim.now, pending[req.line_addr]))
+            return
+
+        amb = self._amb_for(req)
+        arrival = self.links.send_command(self.sim.now)
+        order = amb.group_order(req.line_addr)
+        result = amb.group_read(arrival, req.mapped, order)
+        fills: "dict[int, int]" = {}
+        demanded_finish = 0
+        for line, start in zip(order, result.data_starts):
+            ret = self.links.return_read(start, req.mapped.dimm)
+            if line == req.line_addr:
+                demanded_finish = ret.critical_at_mc
+            else:
+                fills[line] = ret.full_at_mc
+                self.stats.bytes_read += self.config.cacheline_bytes
+        self.mc_prefetched_lines += len(fills)
+        if fills:
+            self.mc_pending[region] = fills
+            last_fill = max(fills.values())
+
+            def commit(r=region) -> None:
+                done = self.mc_pending.pop(r, None)
+                if done:
+                    self.mc_table.insert(done.keys())
+
+            self.sim.schedule_at(last_fill, commit)
+        self._finish_at(req, demanded_finish)
+
+    def collect_device_counters(self) -> "dict":
+        """Snapshot of DRAM activity, AMB cache fills and link occupancy."""
+        counters = {
+            "activates": 0, "column_accesses": 0,
+            "prefetched_lines": self.mc_prefetched_lines,
+            "row_hits": 0, "row_misses": 0,
+            "busy": {
+                self.links.north.name: self.links.north.busy_ps,
+                self.links.south.name: self.links.south.busy_ps,
+            },
+        }
+        for amb in self.ambs:
+            acts, cols = amb.bank_operation_counts()
+            counters["activates"] += acts
+            counters["column_accesses"] += cols
+            counters["prefetched_lines"] += amb.prefetched_lines
+            for bank in amb.banks:
+                counters["row_hits"] += bank.stats.row_hits
+                counters["row_misses"] += bank.stats.row_misses
+        return counters

@@ -1,0 +1,143 @@
+"""The top-level memory controller.
+
+Maps incoming requests, holds the finite memory buffer (64 entries, Table 1),
+applies the fixed controller overhead (12 ns), and dispatches to the
+per-physical-channel engines.  Requests beyond the buffer capacity wait in
+an admission FIFO with their MSHR held — this is the backpressure the cores
+feel when the memory system saturates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Union
+
+from repro.config import MemoryConfig, MemoryKind
+from repro.controller.channel_controller import (
+    ChannelControllerBase,
+    Ddr2ChannelController,
+    FbdimmChannelController,
+)
+from repro.controller.mapping import AddressMapper
+from repro.controller.transaction import MemoryRequest
+from repro.dram.timing import TimingPs
+from repro.engine.simulator import Simulator, ns
+from repro.stats.collector import MemSystemStats
+
+
+class MemoryController:
+    """Front door of the memory subsystem."""
+
+    def __init__(self, sim: Simulator, config: MemoryConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.stats = MemSystemStats()
+        self.mapper = AddressMapper(config)
+        timing = TimingPs.from_config(
+            config.timings, config.dram_clock_ps, config.burst_clocks
+        )
+        self.timing = timing
+        channel_cls = (
+            FbdimmChannelController
+            if config.kind is MemoryKind.FBDIMM
+            else Ddr2ChannelController
+        )
+        self.channels: List[ChannelControllerBase] = [
+            channel_cls(sim, config, timing, ch, self.stats)
+            for ch in range(config.physical_channels)
+        ]
+        self.overhead_ps = ns(config.controller_overhead_ns)
+        self.capacity = config.buffer_entries
+        self.active = 0
+        self.backlog: Deque[MemoryRequest] = deque()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, req: MemoryRequest) -> None:
+        """Accept a request from the CPU side.
+
+        The request is mapped, charged the controller overhead, and either
+        admitted into a channel queue or parked in the admission FIFO when
+        all 64 buffer entries are occupied.
+        """
+        req.mapped = self.mapper.map(req.line_addr)
+        req.schedulable_at = req.arrival + self.overhead_ps
+        self._chain_completion(req)
+        if self.active < self.capacity:
+            self._admit(req)
+        else:
+            self.backlog.append(req)
+
+    def outstanding(self) -> int:
+        """Requests inside the controller (buffered + backlogged)."""
+        return self.active + len(self.backlog)
+
+    def drained(self) -> bool:
+        """True when no request is anywhere in the memory subsystem."""
+        return self.outstanding() == 0
+
+    # ------------------------------------------------------------------
+
+    def _chain_completion(self, req: MemoryRequest) -> None:
+        user_callback = req.on_complete
+
+        def chained(done: MemoryRequest) -> None:
+            self.active -= 1
+            if self.backlog:
+                self._admit(self.backlog.popleft())
+            if user_callback is not None:
+                user_callback(done)
+
+        req.on_complete = chained
+
+    def _admit(self, req: MemoryRequest) -> None:
+        self.active += 1
+        channel = self.channels[req.mapped.channel]
+        ready = max(req.schedulable_at, self.sim.now)
+        req.schedulable_at = ready
+        self.sim.schedule_at(ready, lambda: channel.submit(req))
+
+    # ------------------------------------------------------------------
+
+    def _summed_device_counters(self) -> dict:
+        totals = {
+            "activates": 0, "column_accesses": 0, "prefetched_lines": 0,
+            "row_hits": 0, "row_misses": 0, "busy": {},
+        }
+        for channel in self.channels:
+            counters = channel.collect_device_counters()
+            for key in ("activates", "column_accesses", "prefetched_lines",
+                        "row_hits", "row_misses"):
+                totals[key] += counters[key]
+            totals["busy"].update(counters["busy"])
+        return totals
+
+    def mark_measurement_start(self) -> None:
+        """Discard warm-up activity: measurement restarts from now.
+
+        Device counters (which accumulate inside banks and links) are
+        snapshotted and subtracted at finalize; completion-side counters
+        are reset outright.
+        """
+        self._baseline = self._summed_device_counters()
+        self.stats.reset_measurement()
+
+    def finalize(self) -> MemSystemStats:
+        """Fold per-channel device counters into the stats and return them."""
+        totals = self._summed_device_counters()
+        baseline = getattr(self, "_baseline", None)
+        if baseline is not None:
+            for key in ("activates", "column_accesses", "prefetched_lines",
+                        "row_hits", "row_misses"):
+                totals[key] -= baseline[key]
+            totals["busy"] = {
+                name: busy - baseline["busy"].get(name, 0)
+                for name, busy in totals["busy"].items()
+            }
+        self.stats.activates += totals["activates"]
+        self.stats.column_accesses += totals["column_accesses"]
+        self.stats.prefetched_lines += totals["prefetched_lines"]
+        self.stats.row_hits += totals["row_hits"]
+        self.stats.row_misses += totals["row_misses"]
+        self.stats.per_channel_busy_ps.update(totals["busy"])
+        return self.stats

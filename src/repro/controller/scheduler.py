@@ -1,0 +1,100 @@
+"""Request reordering policy: hit-first with read priority.
+
+The simulated controller follows the paper's policy (Section 4.1): pending
+row-buffer hits are scheduled before row-buffer misses (hit-first, after
+Rixner et al.), and reads are scheduled before writes unless the number of
+outstanding writes exceeds a threshold — with hysteresis, so the write
+drain empties half the queue before reads regain priority.
+
+Under close-page mode there are no row hits, so hit-first degrades to
+earliest-bank-ready-first, which reorders around bank conflicts the same
+way (FR-FCFS without the row-hit term).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.controller.transaction import MemoryRequest
+
+#: How deep into each queue the scheduler looks.  Real controllers have a
+#: bounded associative search; 16 keeps the model O(1)-ish per decision.
+SCAN_WINDOW = 16
+
+
+class HitFirstScheduler:
+    """Chooses the next request from a channel's read and write queues."""
+
+    def __init__(self, write_drain_threshold: int) -> None:
+        self.write_drain_threshold = max(1, write_drain_threshold)
+        self._draining_writes = False
+
+    def _writes_win(self, reads: Deque[MemoryRequest], writes: Deque[MemoryRequest]) -> bool:
+        if not writes:
+            self._draining_writes = False
+            return False
+        if not reads:
+            return True
+        if self._draining_writes:
+            if len(writes) <= self.write_drain_threshold // 2:
+                self._draining_writes = False
+        elif len(writes) >= self.write_drain_threshold:
+            self._draining_writes = True
+        return self._draining_writes
+
+    def select(
+        self,
+        now: int,
+        reads: Deque[MemoryRequest],
+        writes: Deque[MemoryRequest],
+        estimate: Callable[[MemoryRequest], int],
+        row_hit: Callable[[MemoryRequest], bool],
+    ) -> Optional[Tuple[MemoryRequest, int, bool]]:
+        """Pick the best issueable request.
+
+        Args:
+            now: Current time.
+            reads, writes: Per-kind FIFO queues (oldest first).
+            estimate: Earliest time the request's commands could begin.
+            row_hit: Whether the request would hit the open row (or the
+                AMB cache, which the FB-DIMM controller treats as the
+                ultimate "hit").
+
+        Returns:
+            (request, earliest_start, is_write_queue) for the winner, or
+            None when both queues are empty.
+        """
+        if not reads and not writes:
+            return None
+        prefer_writes = self._writes_win(reads, writes)
+
+        best: Optional[MemoryRequest] = None
+        best_key: Optional[Tuple[int, int, int, int, int]] = None
+        best_est = 0
+        best_is_write = False
+        for queue, is_write in ((reads, False), (writes, True)):
+            preferred = is_write == prefer_writes
+            for position, req in enumerate(queue):
+                if position >= SCAN_WINDOW:
+                    break
+                est = max(estimate(req), now, req.schedulable_at)
+                # Issueable-now requests always beat future-ready ones (a
+                # request whose bank or fill frees later must not block the
+                # channel); among the issueable, the preferred kind wins,
+                # then hits beat misses, then oldest-first.  A ready request
+                # of the non-preferred kind still issues when the preferred
+                # queue has nothing ready — this is what lets FB-DIMM reads
+                # flow on the northbound link while a write drain streams
+                # down the independent southbound link.
+                key = (
+                    0 if est <= now else 1,
+                    0 if preferred else 1,
+                    0 if row_hit(req) else 1,
+                    est,
+                    position,
+                )
+                if best_key is None or key < best_key:
+                    best, best_key, best_est, best_is_write = req, key, est, is_write
+        assert best is not None
+        return best, best_est, best_is_write

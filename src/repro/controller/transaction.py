@@ -1,0 +1,66 @@
+"""Memory request lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.controller.mapping import MappedAddress
+
+_request_ids = itertools.count()
+
+
+class RequestKind(enum.Enum):
+    """What generated a memory request.
+
+    DEMAND_READ: an L2 demand miss — the core stalls on it (via the ROB).
+    SW_PREFETCH: a software cache-prefetch instruction's L2 fill — consumes
+        the same memory resources as a demand read but never stalls the core.
+    WRITE: an L2 writeback / store — posted, drained in the background.
+    """
+
+    DEMAND_READ = "read"
+    SW_PREFETCH = "sw_prefetch"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is not RequestKind.WRITE
+
+
+@dataclass
+class MemoryRequest:
+    """One cacheline-sized transaction travelling through the controller.
+
+    Timestamps (all picoseconds, -1 until set) let the stats layer compute
+    queueing delay vs service time without re-deriving anything.
+    """
+
+    kind: RequestKind
+    line_addr: int
+    core_id: int
+    arrival: int
+    mapped: Optional[MappedAddress] = None
+    on_complete: Optional[Callable[["MemoryRequest"], None]] = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    schedulable_at: int = -1  # arrival + controller overhead
+    issue_time: int = -1  # first DRAM/AMB command for this request
+    finish_time: int = -1  # critical data at the controller / write retired
+    amb_hit: bool = False  # served from the AMB cache
+    row_hit: bool = False  # open-page row-buffer hit
+
+    @property
+    def latency(self) -> int:
+        """Total latency seen by the requester, in picoseconds."""
+        if self.finish_time < 0:
+            raise ValueError(f"request {self.req_id} has not completed")
+        return self.finish_time - self.arrival
+
+    def complete(self, finish_time: int) -> None:
+        """Mark done and fire the completion callback."""
+        self.finish_time = finish_time
+        if self.on_complete is not None:
+            self.on_complete(self)

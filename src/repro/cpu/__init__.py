@@ -1,0 +1,14 @@
+"""Processor-side models.
+
+The memory system only observes the L2 miss stream and its concurrency, so
+the core model is deliberately *bounded-window* rather than cycle-accurate:
+each core retires instructions at its program's base IPC and stalls exactly
+when a real out-of-order core would — on a full ROB window behind an
+outstanding demand miss, a full MSHR file, or a full store buffer.
+"""
+
+from repro.cpu.core import Core, CoreStats
+from repro.cpu.l2 import L2FillTable
+from repro.cpu.mshr import Limiter
+
+__all__ = ["Core", "CoreStats", "L2FillTable", "Limiter"]

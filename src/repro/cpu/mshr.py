@@ -1,0 +1,51 @@
+"""Counting resource limiter with wake-up callbacks.
+
+Models MSHR files (per-core data-cache MSHRs and the shared L2 MSHRs of
+Table 1) and any other finite slot pool.  Acquirers that find the pool full
+register a waiter; every release wakes all waiters, which re-try — a
+thundering herd of at most a handful of cores, so simplicity wins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class Limiter:
+    """A pool of ``capacity`` identical slots."""
+
+    def __init__(self, capacity: int, name: str = "limiter") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self.peak = 0
+        self._waiters: List[Callable[[], None]] = []
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free; returns success."""
+        if self.in_use >= self.capacity:
+            return False
+        self.in_use += 1
+        if self.in_use > self.peak:
+            self.peak = self.in_use
+        return True
+
+    def release(self) -> None:
+        """Return a slot and wake every registered waiter once."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        self.in_use -= 1
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                waiter()
+
+    def add_waiter(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot wake-up fired on the next release."""
+        self._waiters.append(callback)

@@ -1,0 +1,14 @@
+"""DDR2 device-level model: banks, timing, and command accounting.
+
+The logic DRAM bank (all physical banks of a rank operated in lockstep,
+Section 3.2) is the unit of state here.  Banks enforce the Table 2 timing
+constraints and report every activate/precharge pair and column access so the
+power model can count them.
+"""
+
+from repro.dram.bank import Bank, BankStats
+from repro.dram.commands import CommandType
+from repro.dram.timing import TimingPs
+from repro.dram.resources import BusResource
+
+__all__ = ["Bank", "BankStats", "CommandType", "TimingPs", "BusResource"]

@@ -1,0 +1,51 @@
+"""Precomputed picosecond timing bundle.
+
+:class:`~repro.config.DramTimings` stores the paper's Table 2 values in
+nanoseconds for readability; the simulator converts them once into this
+integer-picosecond bundle so the hot path never touches floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramTimings
+from repro.engine.simulator import ns
+
+
+@dataclass(frozen=True)
+class TimingPs:
+    """All DRAM timing constraints in picoseconds, plus derived values."""
+
+    tRP: int
+    tRCD: int
+    tCL: int
+    tRC: int
+    tRRD: int
+    tRPD: int
+    tWTR: int
+    tRAS: int
+    tWL: int
+    tWPD: int
+    clock: int  # DRAM clock period
+    burst: int  # data-bus occupancy of one cacheline burst
+
+    @classmethod
+    def from_config(
+        cls, timings: DramTimings, dram_clock_ps: int, burst_clocks: int
+    ) -> "TimingPs":
+        """Convert a ns-based :class:`DramTimings` at a given data rate."""
+        return cls(
+            tRP=ns(timings.tRP),
+            tRCD=ns(timings.tRCD),
+            tCL=ns(timings.tCL),
+            tRC=ns(timings.tRC),
+            tRRD=ns(timings.tRRD),
+            tRPD=ns(timings.tRPD),
+            tWTR=ns(timings.tWTR),
+            tRAS=ns(timings.tRAS),
+            tWL=ns(timings.tWL),
+            tWPD=ns(timings.tWPD),
+            clock=dram_clock_ps,
+            burst=burst_clocks * dram_clock_ps,
+        )

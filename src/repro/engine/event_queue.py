@@ -1,0 +1,69 @@
+"""A deterministic priority event queue keyed on (time, sequence number).
+
+Events that are scheduled for the same picosecond fire in the order they were
+scheduled, which keeps runs bit-for-bit reproducible regardless of heap
+tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Absolute firing time in picoseconds.
+        seq: Monotonic tie-breaker assigned by the queue.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Cancelled events stay in the heap but are skipped.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute picosecond ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the earliest live event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

@@ -1,0 +1,76 @@
+"""The simulation loop: a clock plus an event queue.
+
+Every model component holds a reference to one :class:`Simulator` and uses
+:meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` to arrange its own
+future work.  The loop runs until a stop condition is raised by a component
+(via :meth:`Simulator.stop`) or the queue drains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.event_queue import Event, EventQueue
+
+#: Picoseconds per nanosecond; all model parameters are given in ns and
+#: converted once at configuration time.
+PS_PER_NS = 1000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to the integer-picosecond time base."""
+    return round(value * PS_PER_NS)
+
+
+class Simulator:
+    """Owns the clock and the event queue.
+
+    The simulator knows nothing about memory systems; it only orders
+    callbacks in time.  Determinism: same schedule calls -> same run.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now = 0
+        self._stopped = False
+        self.events_fired = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` picoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.queue.push(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time, clamped to not-before-now."""
+        return self.queue.push(max(time, self.now), callback)
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Fire events in order until stop(), queue drain, or a limit.
+
+        Args:
+            until: Absolute time bound; events after it stay queued.
+            max_events: Safety valve for tests; raises RuntimeError when hit
+                so an accidental livelock fails loudly instead of hanging.
+        """
+        self._stopped = False
+        fired = 0
+        while not self._stopped:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.now = event.time
+            event.callback()
+            self.events_fired += 1
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")

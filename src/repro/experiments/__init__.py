@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes ``run(ctx) -> ResultTable`` (or a list of tables) where
+``ctx`` is an :class:`~repro.experiments.runner.ExperimentContext` that
+memoises simulation runs, so figures sharing configurations (4 & 5, 7 & 10)
+pay for them once.  ``python -m repro.experiments <name>`` prints any one of
+them; ``all`` regenerates the full evaluation.
+"""
+
+from repro.experiments.runner import ExperimentContext, ResultTable
+
+__all__ = ["ExperimentContext", "ResultTable"]

@@ -1,0 +1,111 @@
+"""Command-line entry point: regenerate any (or every) paper result.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--insts N] [--seed S] [--quick]
+    python -m repro.experiments all --quick
+
+Experiments: latency, fig04 .. fig13, ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentContext,
+)
+from repro.experiments import (
+    ablations,
+    hw_prefetch,
+    prefetch_location,
+    validation,
+    fig04_smt_speedup,
+    fig05_bw_latency,
+    fig06_bandwidth_impact,
+    fig07_amb_speedup,
+    fig08_coverage,
+    fig09_decomposition,
+    fig10_bw_latency_ap,
+    fig11_sensitivity,
+    fig12_sw_prefetch,
+    fig13_power,
+    latency_breakdown,
+)
+
+EXPERIMENTS = {
+    "latency": lambda ctx: [latency_breakdown.run(ctx)],
+    "fig04": lambda ctx: (
+        lambda t: [t, fig04_smt_speedup.group_means(t)]
+    )(fig04_smt_speedup.run(ctx)),
+    "fig05": lambda ctx: (
+        lambda t: [t, fig05_bw_latency.group_means(t)]
+    )(fig05_bw_latency.run(ctx)),
+    "fig06": lambda ctx: [fig06_bandwidth_impact.run(ctx)],
+    "fig07": lambda ctx: (
+        lambda t: [t, fig07_amb_speedup.group_means(t)]
+    )(fig07_amb_speedup.run(ctx)),
+    "fig08": lambda ctx: [fig08_coverage.run(ctx)],
+    "fig09": lambda ctx: [fig09_decomposition.run(ctx)],
+    "fig10": lambda ctx: [fig10_bw_latency_ap.run(ctx)],
+    "fig11": lambda ctx: [fig11_sensitivity.run(ctx)],
+    "fig12": lambda ctx: [fig12_sw_prefetch.run(ctx)],
+    "fig13": lambda ctx: [fig13_power.run(ctx)],
+    "ablations": lambda ctx: [
+        ablations.run_vrl(ctx),
+        ablations.run_page_interleave(ctx),
+        ablations.run_replacement(ctx),
+    ],
+    "location": lambda ctx: [prefetch_location.run(ctx)],
+    "hwprefetch": lambda ctx: [hw_prefetch.run(ctx)],
+    "validation": lambda ctx: [
+        validation.run_saturation(ctx),
+        validation.run_pointer_chase(ctx),
+    ],
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    parser.add_argument("--insts", type=int, default=40_000,
+                        help="instructions per core per run (default 40k)")
+    parser.add_argument("--seed", type=int, default=12345)
+    parser.add_argument("--quick", action="store_true",
+                        help="subset of workloads per core-count group")
+    parser.add_argument("--export", metavar="DIR",
+                        help="also write each table as CSV and Markdown")
+    args = parser.parse_args(argv)
+
+    export_dir = None
+    if args.export:
+        from pathlib import Path
+
+        export_dir = Path(args.export)
+        export_dir.mkdir(parents=True, exist_ok=True)
+
+    ctx = ExperimentContext(instructions=args.insts, seed=args.seed, quick=args.quick)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        tables = EXPERIMENTS[name](ctx)
+        for index, table in enumerate(tables):
+            print(table.format())
+            print()
+            if export_dir is not None:
+                from repro.experiments.export import write_csv, write_markdown
+
+                stem = name if len(tables) == 1 else f"{name}-{index}"
+                write_csv(table, export_dir / f"{stem}.csv")
+                write_markdown(table, export_dir / f"{stem}.md")
+        print(f"[{name}: {time.time() - start:.1f}s, {ctx.runs_executed} cached runs]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

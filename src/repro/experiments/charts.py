@@ -1,0 +1,86 @@
+"""Terminal bar charts for experiment tables.
+
+Renders one numeric column of a :class:`ResultTable` as horizontal ASCII
+bars — enough to eyeball every figure of the paper straight from a shell,
+no plotting stack required.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.runner import ResultTable
+
+BAR_CHAR = "#"
+
+
+def bar_chart(
+    table: ResultTable,
+    value_column: str,
+    label_columns: Optional[list] = None,
+    width: int = 50,
+    baseline: Optional[float] = None,
+) -> str:
+    """Render ``value_column`` as horizontal bars.
+
+    Args:
+        table: The experiment result.
+        value_column: Numeric column to plot.
+        label_columns: Columns concatenated into each row label (defaults
+            to every non-value column).
+        width: Maximum bar width in characters.
+        baseline: When given, a ``|`` marker is drawn at this value (e.g.
+            1.0 for normalised results).
+    """
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    if value_column not in table.columns:
+        raise KeyError(value_column)
+    label_columns = label_columns or [
+        c for c in table.columns if c != value_column
+    ]
+    values = []
+    for row in table.rows:
+        value = row.get(value_column)
+        if not isinstance(value, (int, float)):
+            raise ValueError(f"non-numeric value in {value_column!r}: {value!r}")
+        values.append(float(value))
+    if not values:
+        return f"== {table.title} == (empty)"
+
+    top = max(max(values), baseline or 0.0, 1e-12)
+    labels = [
+        " ".join(str(row.get(c, "")) for c in label_columns)
+        for row in table.rows
+    ]
+    label_width = max(len(label) for label in labels)
+
+    lines = [f"== {table.title} [{value_column}] =="]
+    marker_pos = None
+    if baseline is not None and baseline > 0:
+        marker_pos = round(baseline / top * width)
+    for label, value in zip(labels, values):
+        bar_len = max(0, round(value / top * width))
+        bar = BAR_CHAR * bar_len
+        if marker_pos is not None and 0 <= marker_pos <= width:
+            padded = list(bar.ljust(width))
+            if marker_pos < len(padded):
+                padded[marker_pos] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def sparkline(values: list, width: int = 40) -> str:
+    """A one-line trend of a numeric sequence (for sweep summaries)."""
+    if not values:
+        raise ValueError("no values")
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = max(1, len(values) // width)
+    sampled = values[::step][:width]
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))]
+        for v in sampled
+    )

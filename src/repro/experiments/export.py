@@ -1,0 +1,52 @@
+"""Export :class:`ResultTable` to CSV and Markdown.
+
+Keeps the experiment drivers output-format-agnostic while letting users
+pipe regenerated figures straight into spreadsheets or documents.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.runner import ResultTable
+
+
+def to_csv(table: ResultTable) -> str:
+    """Render a table as CSV text (header row first)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow([row.get(column, "") for column in table.columns])
+    return buffer.getvalue()
+
+
+def write_csv(table: ResultTable, path: Union[str, Path]) -> None:
+    """Write a table to a CSV file."""
+    Path(path).write_text(to_csv(table), encoding="utf-8")
+
+
+def to_markdown(table: ResultTable) -> str:
+    """Render a table as a GitHub-flavoured Markdown table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in table.columns) + " |")
+    lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+    for row in table.rows:
+        lines.append(
+            "| " + " | ".join(fmt(row.get(c, "")) for c in table.columns) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_markdown(table: ResultTable, path: Union[str, Path]) -> None:
+    """Write a table to a Markdown file."""
+    Path(path).write_text(to_markdown(table), encoding="utf-8")

@@ -1,0 +1,67 @@
+"""Figure 8: prefetch coverage and efficiency across AMB-cache variants.
+
+Varies, one axis at a time around the default (#CL=4, 64 entries, fully
+associative):
+
+* region size / interleave granularity #CL in {2, 4, 8};
+* AMB-cache entries in {32, 64, 128};
+* tag-store associativity in {direct, 2-way, full}.
+
+Expected shapes: coverage rises with #CL (bounded by (K-1)/K) while
+efficiency falls; more entries and more associativity help both, mildly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import AmbPrefetchConfig, Associativity, fbdimm_amb_prefetch
+from repro.experiments.runner import ExperimentContext, ResultTable, mean
+
+#: (label, prefetch-config) variants, the figure's bar groups.
+VARIANTS: List[Tuple[str, AmbPrefetchConfig]] = [
+    ("#CL=2", AmbPrefetchConfig(region_cachelines=2)),
+    ("#CL=4 (default)", AmbPrefetchConfig(region_cachelines=4)),
+    ("#CL=8", AmbPrefetchConfig(region_cachelines=8)),
+    ("#entry=32", AmbPrefetchConfig(cache_entries=32)),
+    ("#entry=128", AmbPrefetchConfig(cache_entries=128)),
+    ("Set=direct", AmbPrefetchConfig(associativity=Associativity.DIRECT)),
+    ("Set=2", AmbPrefetchConfig(associativity=Associativity.TWO_WAY)),
+]
+
+CORE_COUNTS = (1, 4)
+
+
+def run(ctx: ExperimentContext) -> ResultTable:
+    """Average coverage/efficiency of each variant."""
+    table = ResultTable(
+        title="Figure 8: AMB-prefetch coverage and efficiency",
+        columns=["variant", "cores", "coverage", "efficiency", "bound"],
+    )
+    for label, prefetch in VARIANTS:
+        for cores in CORE_COUNTS:
+            coverages, efficiencies = [], []
+            for workload in ctx.workloads_for(cores):
+                programs = ctx.programs_of(workload)
+                config = fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch)
+                result = ctx.run(config, programs)
+                coverages.append(result.prefetch_coverage)
+                efficiencies.append(result.prefetch_efficiency)
+            k = prefetch.region_cachelines
+            table.add(
+                variant=label,
+                cores=cores,
+                coverage=mean(coverages),
+                efficiency=mean(efficiencies),
+                bound=(k - 1) / k,
+            )
+    return table
+
+
+def main() -> None:
+    ctx = ExperimentContext()
+    print(run(ctx).format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,160 @@
+"""Shared harness for the paper's experiments.
+
+:class:`ExperimentContext` owns the knobs every figure shares (instruction
+budget, seed, workload subset) and memoises :func:`repro.system.run_system`
+calls by ``(config, programs)`` so that figures reusing each other's runs —
+Figure 5 reads Figure 4's, Figure 10 reads Figure 7's — don't re-simulate.
+
+The SMT-speedup reference points are the twelve programs' IPCs on the
+single-core DDR2 system (Section 5.2), computed lazily and cached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig, ddr2_baseline
+from repro.system import SimulationResult, run_system
+from repro.workloads.multiprog import SINGLE_CORE, workloads_by_cores
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment result: ordered columns, one dict per row."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        """Append a row; keys must match the declared columns."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: object) -> Dict[str, object]:
+        """The first row whose ``key_column`` equals ``key``."""
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def format(self) -> str:
+        """Fixed-width text rendering, suitable for EXPERIMENTS.md."""
+
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(row.get(c, "")) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class ExperimentContext:
+    """Run cache plus shared experiment parameters.
+
+    Args:
+        instructions: Per-core instruction budget of every run.  The paper
+            uses 100 M-instruction SimPoints; the synthetic traces reach
+            stable rates far sooner, so the default keeps the whole
+            evaluation laptop-fast.  Increase for tighter numbers.
+        seed: Workload generation seed.
+        quick: When true, each multi-core group is represented by a subset
+            of its workloads (the benchmark harness uses this).
+    """
+
+    def __init__(
+        self, instructions: int = 40_000, seed: int = 12345, quick: bool = False
+    ) -> None:
+        self.instructions = instructions
+        self.seed = seed
+        self.quick = quick
+        self._cache: Dict[Tuple[SystemConfig, Tuple[str, ...]], SimulationResult] = {}
+        self._reference: Optional[Dict[str, float]] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, config: SystemConfig, programs: Sequence[str]) -> SimulationResult:
+        """Run (or recall) one simulation with the context's budget/seed."""
+        config = dataclasses.replace(
+            config, instructions_per_core=self.instructions, seed=self.seed
+        )
+        key = (config, tuple(programs))
+        if key not in self._cache:
+            self._cache[key] = run_system(config, programs)
+        return self._cache[key]
+
+    @property
+    def runs_executed(self) -> int:
+        """Distinct simulations performed so far."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+
+    def workloads_for(self, cores: int) -> List[str]:
+        """Workload names for a core count, honouring ``quick`` mode."""
+        names = workloads_by_cores(cores)
+        if self.quick:
+            limit = 4 if cores == 1 else 2
+            names = names[:limit]
+        return names
+
+    def programs_of(self, workload: str) -> List[str]:
+        from repro.workloads.multiprog import workload_programs
+
+        return workload_programs(workload)
+
+    # ------------------------------------------------------------------
+
+    def reference_ipcs(self) -> Dict[str, float]:
+        """Per-program IPC on the single-core DDR2 system (the SMT-speedup
+        denominator used throughout Section 5)."""
+        if self._reference is None:
+            reference: Dict[str, float] = {}
+            for program in SINGLE_CORE:
+                result = self.run(ddr2_baseline(num_cores=1), [program])
+                reference[program] = result.core_ipcs[0]
+            self._reference = reference
+        return self._reference
+
+    def smt_speedup(self, result: SimulationResult) -> float:
+        """SMT speedup of a run against the DDR2 single-core references."""
+        return result.smt_speedup(self.reference_ipcs())
+
+    def speedup_vs(
+        self, config: SystemConfig, baseline: SystemConfig, workload: str
+    ) -> float:
+        """Ratio of SMT speedups of two configs on one workload."""
+        programs = self.programs_of(workload)
+        cfg_a = dataclasses.replace(config, cpu=dataclasses.replace(config.cpu, num_cores=len(programs)))
+        cfg_b = dataclasses.replace(baseline, cpu=dataclasses.replace(baseline.cpu, num_cores=len(programs)))
+        a = self.smt_speedup(self.run(cfg_a, programs))
+        b = self.smt_speedup(self.run(cfg_b, programs))
+        return a / b
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (the paper's group summary)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,79 @@
+"""Declarative parameter sweeps.
+
+A :class:`Sweep` runs the cartesian product of named parameter axes
+through a user factory and collects a metric from each run into a
+:class:`ResultTable`.  Used by the tuning example and handy for ad-hoc
+design-space exploration::
+
+    sweep = Sweep(
+        axes={"k": [2, 4, 8], "cores": [1, 4]},
+        build=lambda k, cores: fbdimm_amb_prefetch(
+            num_cores=cores, prefetch=AmbPrefetchConfig(region_cachelines=k)
+        ),
+        workload=lambda cores: workloads_by_cores(cores)[0],
+    )
+    table = sweep.run(ctx, metric=lambda r: sum(r.core_ipcs))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.runner import ExperimentContext, ResultTable
+from repro.system import SimulationResult
+from repro.workloads.multiprog import workload_programs
+
+
+@dataclass
+class Sweep:
+    """Cartesian sweep over configuration axes.
+
+    Attributes:
+        axes: Ordered mapping of axis name to its values.
+        build: Callable receiving one keyword per axis, returning the
+            SystemConfig to run.
+        workload: Workload name, or a callable of the axes returning one.
+        metric_name: Column name for the collected metric.
+    """
+
+    axes: Dict[str, Sequence]
+    build: Callable
+    workload: object = "4C-1"
+    metric_name: str = "metric"
+    points_run: int = field(default=0, init=False)
+
+    def _workload_for(self, point: Dict[str, object]) -> str:
+        if callable(self.workload):
+            usable = {
+                k: v for k, v in point.items()
+                if k in self.workload.__code__.co_varnames
+            }
+            return self.workload(**usable)
+        return str(self.workload)
+
+    def run(
+        self,
+        ctx: ExperimentContext,
+        metric: Callable[[SimulationResult], float],
+    ) -> ResultTable:
+        """Execute every point; one table row per point."""
+        if not self.axes:
+            raise ValueError("sweep needs at least one axis")
+        names: List[str] = list(self.axes)
+        table = ResultTable(
+            title=f"Sweep over {', '.join(names)}",
+            columns=names + ["workload", self.metric_name],
+        )
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            point = dict(zip(names, combo))
+            workload = self._workload_for(point)
+            programs = workload_programs(workload)
+            config = self.build(**point)
+            if config.cpu.num_cores != len(programs):
+                config = config.with_cpu(num_cores=len(programs))
+            result = ctx.run(config, programs)
+            self.points_run += 1
+            table.add(**point, workload=workload, **{self.metric_name: metric(result)})
+        return table

@@ -1,0 +1,9 @@
+"""DRAM power estimation (Section 5.5)."""
+
+from repro.power.ddr2_power import (
+    MicronPowerCalculator,
+    PowerModel,
+    relative_dynamic_power,
+)
+
+__all__ = ["MicronPowerCalculator", "PowerModel", "relative_dynamic_power"]

@@ -1,0 +1,17 @@
+"""Measurement: raw counters during the run, derived metrics afterwards."""
+
+from repro.stats.collector import MemSystemStats
+from repro.stats.metrics import (
+    prefetch_coverage,
+    prefetch_efficiency,
+    smt_speedup,
+    utilized_bandwidth_gbs,
+)
+
+__all__ = [
+    "MemSystemStats",
+    "prefetch_coverage",
+    "prefetch_efficiency",
+    "smt_speedup",
+    "utilized_bandwidth_gbs",
+]

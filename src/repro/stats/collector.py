@@ -1,0 +1,113 @@
+"""Raw event counters accumulated while the memory system runs.
+
+One :class:`MemSystemStats` instance is shared by every channel controller
+of a system; the metrics module turns it into the paper's reported
+quantities (average latency, utilised bandwidth, coverage, efficiency,
+relative power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MemSystemStats:
+    """Counters for one simulated memory subsystem."""
+
+    demand_reads: int = 0
+    sw_prefetch_reads: int = 0
+    writes: int = 0
+    amb_hits: int = 0  # reads served from an AMB cache (incl. fill merges)
+    prefetched_lines: int = 0  # lines written into AMB caches
+    read_latency_sum_ps: int = 0  # demand + software-prefetch reads
+    demand_latency_sum_ps: int = 0  # demand reads only
+    queue_delay_sum_ps: int = 0  # time between schedulable and issue
+    bytes_read: int = 0  # cachelines crossing the channel toward the CPU
+    bytes_written: int = 0  # write data crossing the channel
+    activates: int = 0  # ACT/PRE pairs at the DRAM devices
+    column_accesses: int = 0  # RD/WR column commands at the DRAM devices
+    row_hits: int = 0
+    row_misses: int = 0
+    per_channel_busy_ps: Dict[str, int] = field(default_factory=dict)
+    first_activity_ps: int = -1
+    last_activity_ps: int = 0
+    #: Per-request latency capture for histogram analysis; None (off) by
+    #: default because most sweeps only need the sums.
+    demand_latency_samples: Optional[List[int]] = None
+    #: Per-core demand-read counters: core id -> [reads, latency_sum_ps].
+    #: Shows which program of a mix suffers the queueing (interference).
+    per_core_reads: Dict[int, List[int]] = field(default_factory=dict)
+
+    def enable_latency_capture(self) -> None:
+        """Record every demand read's latency (for repro.analysis)."""
+        if self.demand_latency_samples is None:
+            self.demand_latency_samples = []
+
+    def reset_measurement(self) -> None:
+        """Zero all completion-side counters (warm-up discard).
+
+        Device-side counters (activates etc.) accumulate inside the banks
+        and are baseline-subtracted by the controller instead.
+        """
+        self.demand_reads = 0
+        self.sw_prefetch_reads = 0
+        self.writes = 0
+        self.amb_hits = 0
+        self.read_latency_sum_ps = 0
+        self.demand_latency_sum_ps = 0
+        self.queue_delay_sum_ps = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.first_activity_ps = -1
+        self.last_activity_ps = 0
+        if self.demand_latency_samples is not None:
+            self.demand_latency_samples = []
+        self.per_core_reads = {}
+
+    @property
+    def total_reads(self) -> int:
+        """Demand reads plus software-prefetch reads."""
+        return self.demand_reads + self.sw_prefetch_reads
+
+    def note_activity(self, time_ps: int) -> None:
+        """Track the active window for bandwidth computation."""
+        if self.first_activity_ps < 0:
+            self.first_activity_ps = time_ps
+        if time_ps > self.last_activity_ps:
+            self.last_activity_ps = time_ps
+
+    @property
+    def elapsed_ps(self) -> int:
+        """Length of the active window (0 when nothing happened)."""
+        if self.first_activity_ps < 0:
+            return 0
+        return self.last_activity_ps - self.first_activity_ps
+
+    def record_read_completion(
+        self, latency_ps: int, queue_delay_ps: int, is_demand: bool, amb_hit: bool,
+        line_bytes: int, core_id: int = -1,
+    ) -> None:
+        """Account one finished read transaction."""
+        if is_demand:
+            self.demand_reads += 1
+            self.demand_latency_sum_ps += latency_ps
+            if self.demand_latency_samples is not None:
+                self.demand_latency_samples.append(latency_ps)
+            if core_id >= 0:
+                entry = self.per_core_reads.setdefault(core_id, [0, 0])
+                entry[0] += 1
+                entry[1] += latency_ps
+        else:
+            self.sw_prefetch_reads += 1
+        self.read_latency_sum_ps += latency_ps
+        self.queue_delay_sum_ps += queue_delay_ps
+        self.bytes_read += line_bytes
+        if amb_hit:
+            self.amb_hits += 1
+
+    def record_write_completion(self, line_bytes: int) -> None:
+        """Account one retired write."""
+        self.writes += 1
+        self.bytes_written += line_bytes

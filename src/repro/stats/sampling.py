@@ -1,0 +1,96 @@
+"""Time-series sampling of memory-system state.
+
+The paper's analysis sections reason about queue depths, bank conflicts
+and channel utilisation over time; this module provides a light-weight
+periodic sampler that any run can attach.  Samples are plain dataclasses
+so the analysis package can aggregate them without touching simulator
+internals after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.engine.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controller.controller import MemoryController
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One snapshot of the memory subsystem."""
+
+    time_ps: int
+    queued_requests: int  # waiting in channel queues
+    inflight_reads: int
+    inflight_writes: int
+    backlog: int  # parked behind the 64-entry buffer
+
+
+@dataclass
+class QueueSampler:
+    """Samples a controller's queue state at a fixed period.
+
+    Attach before the run::
+
+        sampler = QueueSampler(period_ps=ns(100))
+        sampler.attach(system.sim, system.controller)
+        result = system.run()
+        print(sampler.mean_queue_depth())
+    """
+
+    period_ps: int = 100_000  # 100 ns
+    samples: List[Sample] = field(default_factory=list)
+    max_samples: int = 100_000
+
+    def attach(self, sim: Simulator, controller: "MemoryController") -> None:
+        """Begin sampling; stops itself at ``max_samples``."""
+        if self.period_ps <= 0:
+            raise ValueError("sampling period must be positive")
+
+        def tick() -> None:
+            queued = sum(ch.queue_len() for ch in controller.channels)
+            reads = sum(ch.inflight_reads for ch in controller.channels)
+            writes = sum(ch.inflight_writes for ch in controller.channels)
+            self.samples.append(
+                Sample(
+                    time_ps=sim.now,
+                    queued_requests=queued,
+                    inflight_reads=reads,
+                    inflight_writes=writes,
+                    backlog=len(controller.backlog),
+                )
+            )
+            if len(self.samples) < self.max_samples:
+                sim.schedule(self.period_ps, tick)
+
+        sim.schedule(self.period_ps, tick)
+
+    # -- aggregates -----------------------------------------------------
+
+    def mean_queue_depth(self) -> float:
+        """Average number of requests waiting in channel queues."""
+        if not self.samples:
+            return 0.0
+        return sum(s.queued_requests for s in self.samples) / len(self.samples)
+
+    def peak_queue_depth(self) -> int:
+        """Worst-case sampled queue depth."""
+        if not self.samples:
+            return 0
+        return max(s.queued_requests for s in self.samples)
+
+    def mean_inflight(self) -> float:
+        """Average concurrently issued transactions (reads + writes)."""
+        if not self.samples:
+            return 0.0
+        total = sum(s.inflight_reads + s.inflight_writes for s in self.samples)
+        return total / len(self.samples)
+
+    def backlog_fraction(self) -> float:
+        """Fraction of samples where the 64-entry buffer was overflowing."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.backlog > 0) / len(self.samples)

@@ -1,0 +1,16 @@
+"""Workloads: synthetic SPEC2000 memory-behaviour profiles and the paper's
+multiprogrammed mixes (Table 3)."""
+
+from repro.workloads.trace import TraceEvent, TraceKind
+from repro.workloads.spec import PROGRAMS, ProgramProfile, make_trace
+from repro.workloads.multiprog import WORKLOADS, workload_programs
+
+__all__ = [
+    "TraceEvent",
+    "TraceKind",
+    "PROGRAMS",
+    "ProgramProfile",
+    "make_trace",
+    "WORKLOADS",
+    "workload_programs",
+]

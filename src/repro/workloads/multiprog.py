@@ -1,0 +1,60 @@
+"""The multiprogrammed workload mixes of Table 3.
+
+Workload names follow the paper: ``<cores>C-<index>``; each runs one
+distinct application per core.  ``SINGLE_CORE`` lists the twelve 1-core
+workloads used both directly and as the SMT-speedup reference points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+WORKLOADS: Dict[str, Tuple[str, ...]] = {
+    # 2-core
+    "2C-1": ("wupwise", "swim"),
+    "2C-2": ("mgrid", "applu"),
+    "2C-3": ("vpr", "equake"),
+    "2C-4": ("facerec", "lucas"),
+    "2C-5": ("fma3d", "parser"),
+    "2C-6": ("gap", "vortex"),
+    # 4-core
+    "4C-1": ("wupwise", "swim", "mgrid", "applu"),
+    "4C-2": ("vpr", "equake", "facerec", "lucas"),
+    "4C-3": ("fma3d", "parser", "gap", "vortex"),
+    "4C-4": ("wupwise", "mgrid", "vpr", "facerec"),
+    "4C-5": ("fma3d", "gap", "swim", "applu"),
+    "4C-6": ("equake", "lucas", "parser", "vortex"),
+    # 8-core
+    "8C-1": (
+        "wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas",
+    ),
+    "8C-2": (
+        "wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex",
+    ),
+    "8C-3": (
+        "vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex",
+    ),
+}
+
+SINGLE_CORE: Tuple[str, ...] = (
+    "wupwise", "swim", "mgrid", "applu", "vpr", "equake",
+    "facerec", "lucas", "fma3d", "parser", "gap", "vortex",
+)
+
+
+def workload_programs(name: str) -> List[str]:
+    """Programs of a named workload; 1-core workloads use the program name."""
+    if name in WORKLOADS:
+        return list(WORKLOADS[name])
+    if name in SINGLE_CORE:
+        return [name]
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def workloads_by_cores(num_cores: int) -> List[str]:
+    """All workload names with the given core count."""
+    if num_cores == 1:
+        return list(SINGLE_CORE)
+    return [
+        name for name, programs in WORKLOADS.items() if len(programs) == num_cores
+    ]

@@ -1,0 +1,100 @@
+"""Phase-changing workloads.
+
+Real programs move through phases with different memory behaviour — the
+very observation behind SimPoint, which the paper uses to pick its
+simulation windows.  :class:`PhasedTrace` concatenates per-phase synthetic
+traces so phase transitions (and their effect on a warmed-up AMB cache)
+can be studied directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.workloads.spec import ProgramProfile, SyntheticTrace
+from repro.workloads.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One program phase: a behaviour profile for a span of instructions."""
+
+    profile: ProgramProfile
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions < 1:
+            raise ValueError("phase must span at least one instruction")
+
+
+class PhasedTrace:
+    """Concatenation of per-phase traces, repeated cyclically.
+
+    Each phase generates from its own profile; instruction indices continue
+    monotonically across phase boundaries.  After the last phase the cycle
+    restarts (programs loop), so the trace is infinite like the plain
+    generators.
+    """
+
+    def __init__(
+        self, phases: Sequence[Phase], seed: int = 1, base_line: int = 0,
+        software_prefetch: bool = True,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases: Tuple[Phase, ...] = tuple(phases)
+        self.seed = seed
+        self.base_line = base_line
+        self.software_prefetch = software_prefetch
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        offset = 0
+        cycle = 0
+        while True:
+            for index, phase in enumerate(self.phases):
+                inner = SyntheticTrace(
+                    phase.profile,
+                    seed=self.seed + 31 * cycle + index,
+                    base_line=self.base_line,
+                    software_prefetch=self.software_prefetch,
+                )
+                emitted_to = offset
+                for event in inner:
+                    if event.inst >= phase.instructions:
+                        break
+                    emitted_to = offset + event.inst
+                    yield TraceEvent(
+                        inst=emitted_to,
+                        kind=event.kind,
+                        line_addr=event.line_addr,
+                    )
+                offset += phase.instructions
+            cycle += 1
+
+
+def alternating(
+    streamy: ProgramProfile,
+    pointer_heavy: ProgramProfile,
+    phase_instructions: int = 20_000,
+    seed: int = 1,
+) -> PhasedTrace:
+    """The canonical two-phase pattern: stream phase then irregular phase."""
+    return PhasedTrace(
+        [
+            Phase(streamy, phase_instructions),
+            Phase(pointer_heavy, phase_instructions),
+        ],
+        seed=seed,
+    )
+
+
+def phase_boundaries(phases: Sequence[Phase], cycles: int = 1) -> List[int]:
+    """Instruction indices at which phase transitions occur."""
+    boundaries: List[int] = []
+    offset = 0
+    for _ in range(cycles):
+        for phase in phases:
+            offset += phase.instructions
+            boundaries.append(offset)
+    return boundaries

@@ -1,0 +1,189 @@
+"""Synthetic memory-behaviour profiles for the paper's twelve SPEC2000
+programs.
+
+Running the real binaries under a cycle-accurate core is out of scope (see
+DESIGN.md); instead each program is summarised by the handful of parameters
+that the memory system can actually observe:
+
+* ``mpki`` — L2 demand misses per thousand instructions (traffic intensity);
+* ``base_ipc`` — IPC when every access hits on-chip (compute intensity);
+* ``streams`` × ``run_length`` — concurrent sequential access streams and
+  how far each runs before jumping: *the* two knobs behind DRAM-level
+  spatial locality (what AMB prefetching exploits) and bank conflicts
+  (what it removes);
+* ``write_fraction`` — share of memory events that are writebacks;
+* ``sw_prefetch_coverage`` — how much of the streaming traffic the Alpha
+  compiler's software prefetches cover (Section 5.4).
+
+Values are set from published SPEC2000 characterisation ranges: the FP
+streamers (swim, mgrid, applu, wupwise, lucas, facerec) are high-MPKI /
+long-run; the integer codes (vpr, parser, gap, vortex) are low-MPKI /
+short-run.  Absolute IPCs are not meant to match the paper — relative
+behaviour across programs and configurations is what the reproduction
+preserves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.workloads.trace import TraceEvent, TraceKind
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Memory-behaviour summary of one benchmark program."""
+
+    name: str
+    base_ipc: float
+    mpki: float  # demand L2 misses per 1000 instructions
+    write_fraction: float  # of all memory events
+    streams: int  # concurrent sequential access streams
+    run_length: int  # mean consecutive cachelines per stream run
+    sw_prefetch_coverage: float  # of sequential demand reads
+    sw_prefetch_distance: int = 600  # instructions of lead time
+    footprint_lines: int = 1 << 22  # 256 MB at 64 B lines
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_ipc <= 8:
+            raise ValueError(f"{self.name}: implausible base IPC {self.base_ipc}")
+        if self.mpki <= 0:
+            raise ValueError(f"{self.name}: mpki must be positive")
+        if not 0 <= self.write_fraction < 1:
+            raise ValueError(f"{self.name}: bad write fraction")
+        if self.streams < 1 or self.run_length < 1:
+            raise ValueError(f"{self.name}: need streams >= 1, run_length >= 1")
+        if not 0 <= self.sw_prefetch_coverage <= 1:
+            raise ValueError(f"{self.name}: bad prefetch coverage")
+
+    @property
+    def continue_probability(self) -> float:
+        """Chance a stream advances sequentially instead of jumping."""
+        return self.run_length / (self.run_length + 1.0)
+
+
+#: The twelve memory-intensive SPEC2000 programs of Table 3 (art and mcf
+#: are excluded by the paper itself).
+PROGRAMS: Dict[str, ProgramProfile] = {
+    p.name: p
+    for p in [
+        ProgramProfile("wupwise", 1.9, 9.0, 0.28, 4, 10, 0.70),
+        ProgramProfile("swim", 1.0, 30.0, 0.42, 6, 20, 0.80),
+        ProgramProfile("mgrid", 1.5, 15.0, 0.30, 4, 13, 0.75),
+        ProgramProfile("applu", 1.3, 17.0, 0.33, 5, 11, 0.70),
+        ProgramProfile("vpr", 1.2, 7.0, 0.22, 2, 3, 0.30),
+        ProgramProfile("equake", 0.9, 19.0, 0.28, 3, 5, 0.55),
+        ProgramProfile("facerec", 1.4, 12.0, 0.22, 3, 6, 0.60),
+        ProgramProfile("lucas", 1.1, 14.0, 0.25, 4, 6, 0.65),
+        ProgramProfile("fma3d", 1.0, 11.0, 0.30, 3, 4, 0.45),
+        ProgramProfile("parser", 1.1, 6.0, 0.28, 2, 3, 0.25),
+        ProgramProfile("gap", 1.3, 9.0, 0.26, 3, 5, 0.40),
+        ProgramProfile("vortex", 1.4, 8.0, 0.33, 2, 3, 0.35),
+    ]
+}
+
+
+class SyntheticTrace:
+    """Deterministic, lazy L2-miss trace for one program instance.
+
+    Yields :class:`TraceEvent` in strictly increasing instruction order.
+    Software prefetches are emitted ``sw_prefetch_distance`` instructions
+    ahead of the sequential demand reads they cover, using a small
+    lookahead heap to keep emission ordered.
+    """
+
+    #: Writebacks lag demand reads by this many read events, modelling the
+    #: time a dirty line survives in the L2 before eviction.
+    WRITEBACK_LAG = 2000
+
+    def __init__(
+        self,
+        profile: ProgramProfile,
+        seed: int,
+        base_line: int = 0,
+        software_prefetch: bool = True,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.base_line = base_line
+        self.software_prefetch = software_prefetch
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        profile = self.profile
+        rng = random.Random(f"{self.seed}:{profile.name}")
+        mean_gap = 1000.0 / profile.mpki
+        streams: List[int] = [
+            rng.randrange(profile.footprint_lines) for _ in range(profile.streams)
+        ]
+        writeback_queue: List[int] = []
+        heap: List[Tuple[int, int, TraceKind, int]] = []
+        tie = itertools.count()
+        horizon = profile.sw_prefetch_distance + 2
+        gen_inst = 0
+        last_emitted = 0
+
+        def generate_one() -> int:
+            nonlocal gen_inst
+            gap = max(1, round(rng.expovariate(1.0 / mean_gap)))
+            gen_inst += gap
+            if writeback_queue and rng.random() < profile.write_fraction:
+                lag = min(len(writeback_queue), self.WRITEBACK_LAG)
+                line = writeback_queue.pop(-lag)
+                heapq.heappush(heap, (gen_inst, next(tie), TraceKind.WRITE, line))
+                return gen_inst
+            stream = rng.randrange(profile.streams)
+            sequential = rng.random() < profile.continue_probability
+            if sequential:
+                streams[stream] = (streams[stream] + 1) % profile.footprint_lines
+            else:
+                streams[stream] = rng.randrange(profile.footprint_lines)
+            line = self.base_line + streams[stream]
+            heapq.heappush(heap, (gen_inst, next(tie), TraceKind.READ, line))
+            writeback_queue.append(line)
+            if len(writeback_queue) > 4 * self.WRITEBACK_LAG:
+                del writeback_queue[: self.WRITEBACK_LAG]
+            covered = (
+                self.software_prefetch
+                and sequential
+                and rng.random() < profile.sw_prefetch_coverage
+            )
+            if covered:
+                pf_inst = max(1, gen_inst - profile.sw_prefetch_distance)
+                heapq.heappush(heap, (pf_inst, next(tie), TraceKind.PREFETCH, line))
+            return gen_inst
+
+        while True:
+            while not heap or heap[0][0] > gen_inst - horizon:
+                generate_one()
+            inst, _, kind, line = heapq.heappop(heap)
+            if inst <= last_emitted:
+                inst = last_emitted + 1
+            last_emitted = inst
+            yield TraceEvent(inst=inst, kind=kind, line_addr=line)
+
+
+def make_trace(
+    program: str,
+    seed: int,
+    core_id: int = 0,
+    software_prefetch: bool = True,
+) -> SyntheticTrace:
+    """Build the trace for ``program`` on a given core.
+
+    Each core gets a disjoint 4 GB slice of the physical address space
+    (``core_id << 26`` cachelines), as distinct processes would.
+    """
+    if program not in PROGRAMS:
+        raise KeyError(
+            f"unknown program {program!r}; available: {sorted(PROGRAMS)}"
+        )
+    return SyntheticTrace(
+        PROGRAMS[program],
+        seed=seed + core_id * 7919,
+        base_line=core_id << 26,
+        software_prefetch=software_prefetch,
+    )

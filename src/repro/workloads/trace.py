@@ -1,0 +1,63 @@
+"""Trace event vocabulary plus record/replay helpers.
+
+A trace is an iterator of :class:`TraceEvent` in strictly increasing
+instruction order.  Synthetic generators (``repro.workloads.spec``) produce
+them lazily; :func:`record` / :func:`replay` turn any prefix into a list
+for deterministic regression tests and offline analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+
+class TraceKind(enum.Enum):
+    """What the core does at a trace point."""
+
+    READ = "read"  # demand L2 miss (blocks retirement via the ROB)
+    WRITE = "write"  # L2 writeback / store (posted)
+    PREFETCH = "prefetch"  # software cache-prefetch instruction
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One memory event at a given position in the instruction stream.
+
+    Attributes:
+        inst: Index of the instruction triggering the event; generators
+            guarantee strictly increasing values within one trace.
+        kind: Demand read, write, or software prefetch.
+        line_addr: Cacheline index in the flat physical space.
+    """
+
+    inst: int
+    kind: TraceKind
+    line_addr: int
+
+
+def record(trace: Iterable[TraceEvent], max_events: int) -> List[TraceEvent]:
+    """Materialise the first ``max_events`` events of a trace."""
+    out: List[TraceEvent] = []
+    for event in trace:
+        out.append(event)
+        if len(out) >= max_events:
+            break
+    return out
+
+
+def replay(events: List[TraceEvent]) -> Iterator[TraceEvent]:
+    """Turn a recorded list back into a trace iterator."""
+    return iter(events)
+
+
+def validate(events: Iterable[TraceEvent]) -> None:
+    """Raise ValueError unless instruction order is strictly increasing."""
+    last = -1
+    for event in events:
+        if event.inst <= last:
+            raise ValueError(
+                f"trace order violated: inst {event.inst} after {last}"
+            )
+        last = event.inst

@@ -1,0 +1,85 @@
+"""Trace persistence: JSON-lines save/load for recorded traces.
+
+Lets a workload be generated once, inspected or edited offline, and
+replayed deterministically — useful for regression pinning and for feeding
+the simulator traces produced by external tools.
+
+Format: one JSON object per line, ``{"i": inst, "k": kind, "a": line}``,
+with a single header line carrying the format version and metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.workloads.trace import TraceEvent, TraceKind
+
+FORMAT_VERSION = 1
+
+_KIND_CODES = {TraceKind.READ: "r", TraceKind.WRITE: "w", TraceKind.PREFETCH: "p"}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def save_trace(
+    path: Union[str, Path],
+    events: Iterable[TraceEvent],
+    metadata: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write events to a JSONL file; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"version": FORMAT_VERSION, "meta": metadata or {}}
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            record = {
+                "i": event.inst,
+                "k": _KIND_CODES[event.kind],
+                "a": event.line_addr,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_trace_metadata(path: Union[str, Path]) -> Dict[str, object]:
+    """Read only the header metadata of a saved trace."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {header.get('version')!r}"
+        )
+    return dict(header.get("meta", {}))
+
+
+def load_trace(path: Union[str, Path]) -> Iterator[TraceEvent]:
+    """Lazily yield events from a saved trace, validating order."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')!r}"
+            )
+        last_inst = 0
+        for line_no, line in enumerate(handle, start=2):
+            record = json.loads(line)
+            kind = _CODE_KINDS.get(record.get("k"))
+            if kind is None:
+                raise ValueError(f"{path}:{line_no}: unknown kind {record.get('k')!r}")
+            inst = int(record["i"])
+            if inst <= last_inst:
+                raise ValueError(
+                    f"{path}:{line_no}: instruction order violated "
+                    f"({inst} after {last_inst})"
+                )
+            last_inst = inst
+            yield TraceEvent(inst=inst, kind=kind, line_addr=int(record["a"]))
+
+
+def load_trace_list(path: Union[str, Path]) -> List[TraceEvent]:
+    """Eagerly load a full saved trace."""
+    return list(load_trace(path))

@@ -1,0 +1,143 @@
+"""AMB tests: group fetch, pending fills, cache lookups, invalidation."""
+
+import pytest
+
+from repro.config import (
+    AmbPrefetchConfig,
+    InterleaveScheme,
+    MemoryConfig,
+)
+from repro.channel.amb import Amb
+from repro.controller.mapping import AddressMapper
+from repro.dram.timing import TimingPs
+
+
+def make_amb(k=4, entries=64):
+    config = MemoryConfig(
+        interleave=InterleaveScheme.MULTI_CACHELINE,
+        prefetch=AmbPrefetchConfig(region_cachelines=k, cache_entries=entries),
+    )
+    timing = TimingPs.from_config(
+        config.timings, config.dram_clock_ps, config.burst_clocks
+    )
+    amb = Amb(config, timing, channel_id=0, dimm_id=0)
+    mapper = AddressMapper(config)
+    return amb, mapper, timing
+
+
+def line_on_dimm0(mapper, region_index=0):
+    """A demanded line whose region maps to channel 0 / DIMM 0."""
+    # Regions rotate channel first, then dimm: region r=0 -> ch0, dimm0.
+    region = region_index * mapper.channels * mapper.dimms
+    return region * mapper.region_lines
+
+
+class TestGroupFetch:
+    def test_demanded_line_comes_first(self):
+        amb, mapper, timing = make_amb()
+        base = line_on_dimm0(mapper)
+        demanded = base + 2
+        mapped = mapper.map(demanded)
+        group = amb.group_fetch(0, mapped, demanded)
+        # The demanded line's burst starts at tRCD + tCL; fills trail it.
+        assert group.demanded_start == timing.tRCD + timing.tCL
+        assert all(t > group.demanded_start for t in group.fills.values())
+
+    def test_fills_cover_rest_of_region(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        demanded = base + 2
+        group = amb.group_fetch(0, mapper.map(demanded), demanded)
+        assert set(group.fills) == {base, base + 1, base + 3}
+        assert amb.prefetched_lines == 3
+
+    def test_one_activate_k_column_accesses(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.group_fetch(0, mapper.map(base), base)
+        acts, cols = amb.bank_operation_counts()
+        assert acts == 1
+        assert cols == 4
+
+    def test_last_fill_is_max(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        group = amb.group_fetch(0, mapper.map(base), base)
+        assert group.last_fill == max(group.fills.values())
+
+
+class TestCacheLookup:
+    def test_miss_before_fetch(self):
+        amb, mapper, _ = make_amb()
+        assert amb.cache_lookup(0) is None
+
+    def test_pending_fill_counts_as_hit_with_fill_time(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        group = amb.group_fetch(0, mapper.map(base), base)
+        avail = amb.cache_lookup(base + 1)
+        assert avail == group.fills[base + 1]
+
+    def test_committed_fill_hits_immediately(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.group_fetch(0, mapper.map(base), base)
+        amb.commit_fills(base // 4)
+        assert amb.cache_lookup(base + 1) == 0
+        assert not amb.pending_fills
+
+    def test_demanded_line_itself_is_not_cached(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.group_fetch(0, mapper.map(base), base)
+        amb.commit_fills(base // 4)
+        assert amb.cache_lookup(base) is None
+
+    def test_lookup_counts_stats(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.cache_lookup(base)
+        assert amb.table.stats.lookups == 1
+
+
+class TestInvalidate:
+    def test_write_invalidates_committed_line(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.group_fetch(0, mapper.map(base), base)
+        amb.commit_fills(base // 4)
+        amb.invalidate(base + 1)
+        assert amb.cache_lookup(base + 1) is None
+
+    def test_write_invalidates_pending_fill(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.group_fetch(0, mapper.map(base), base)
+        amb.invalidate(base + 1)
+        assert amb.cache_lookup(base + 1) is None
+        # Other pending lines survive.
+        assert amb.cache_lookup(base + 2) is not None
+
+    def test_invalidate_without_prefetch_is_noop(self):
+        config = MemoryConfig()  # prefetch disabled
+        timing = TimingPs.from_config(
+            config.timings, config.dram_clock_ps, config.burst_clocks
+        )
+        amb = Amb(config, timing, 0, 0)
+        amb.invalidate(0)  # must not raise
+        assert amb.table is None
+
+
+class TestPlainAccess:
+    def test_read_line_uses_bank(self):
+        amb, mapper, timing = make_amb()
+        base = line_on_dimm0(mapper)
+        result = amb.read_line(0, mapper.map(base))
+        assert result.data_starts[0] == timing.tRCD + timing.tCL
+
+    def test_write_line_counts(self):
+        amb, mapper, _ = make_amb()
+        base = line_on_dimm0(mapper)
+        amb.write_line(0, mapper.map(base))
+        acts, cols = amb.bank_operation_counts()
+        assert (acts, cols) == (1, 1)

@@ -1,0 +1,136 @@
+"""Analysis-package tests: latency distributions, utilisation, sampling,
+and run reports."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.latency import LatencyDistribution, histogram_ns
+from repro.analysis.report import run_report
+from repro.analysis.utilisation import channel_utilisation_report, utilisation_summary
+from repro.config import fbdimm_amb_prefetch, fbdimm_baseline
+from repro.stats.collector import MemSystemStats
+from repro.stats.sampling import QueueSampler
+from repro.system import System
+
+
+def small_run(config=None, insts=8_000, programs=("swim",), capture=False,
+              sampler=None):
+    config = dataclasses.replace(
+        config or fbdimm_baseline(len(programs)), instructions_per_core=insts
+    )
+    system = System(config, list(programs))
+    if capture:
+        system.controller.stats.enable_latency_capture()
+    if sampler is not None:
+        sampler.attach(system.sim, system.controller)
+    return system.run()
+
+
+class TestLatencyDistribution:
+    def test_from_samples(self):
+        dist = LatencyDistribution.from_samples_ps([63_000, 63_000, 100_000])
+        assert dist.count == 3
+        assert dist.min_ns == pytest.approx(63.0)
+        assert dist.max_ns == pytest.approx(100.0)
+        assert dist.mean_ns == pytest.approx(75.333, abs=0.01)
+        assert dist.p50_ns == pytest.approx(63.0)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            LatencyDistribution.from_samples_ps([])
+
+    def test_from_stats_requires_capture(self):
+        with pytest.raises(ValueError):
+            LatencyDistribution.from_stats(MemSystemStats())
+
+    def test_capture_through_a_real_run(self):
+        result = small_run(capture=True)
+        dist = LatencyDistribution.from_stats(result.mem)
+        assert dist.count == result.mem.demand_reads
+        assert dist.min_ns >= 63.0  # idle latency is the floor
+        assert dist.p50_ns <= dist.p90_ns <= dist.p99_ns <= dist.max_ns
+
+    def test_queueing_tail(self):
+        dist = LatencyDistribution.from_samples_ps([63_000] * 99 + [163_000])
+        assert dist.queueing_tail_ns > 0
+
+    def test_format(self):
+        dist = LatencyDistribution.from_samples_ps([63_000])
+        assert "p99" in dist.format()
+
+
+class TestHistogram:
+    def test_buckets_and_overflow(self):
+        counts = histogram_ns([10_000, 20_000, 400_000], bucket_ns=15.0, max_ns=60.0)
+        assert counts["0-15"] == 1
+        assert counts["15-30"] == 1
+        assert counts["60+"] == 1
+        assert sum(counts.values()) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_ns([], bucket_ns=0)
+
+
+class TestUtilisation:
+    def test_report_sorted_and_bounded(self):
+        result = small_run()
+        report = channel_utilisation_report(result.mem)
+        assert report, "FB-DIMM runs must track link occupancy"
+        fractions = [r.busy_fraction for r in report]
+        assert fractions == sorted(fractions, reverse=True)
+        assert all(0 <= f <= 1 for f in fractions)
+
+    def test_summary_keys(self):
+        result = small_run()
+        summary = utilisation_summary(result.mem)
+        assert summary["utilized_bandwidth_gbs"] > 0
+        assert 0 < summary["mean_link_busy_fraction"] <= 1
+        assert summary["links_tracked"] == 8  # 4 channels x north+south
+
+    def test_empty_stats(self):
+        assert channel_utilisation_report(MemSystemStats()) == []
+
+
+class TestQueueSampler:
+    def test_collects_samples(self):
+        sampler = QueueSampler(period_ps=50_000)
+        small_run(sampler=sampler)
+        assert len(sampler.samples) > 10
+        assert sampler.mean_inflight() > 0
+
+    def test_aggregates_on_empty(self):
+        sampler = QueueSampler()
+        assert sampler.mean_queue_depth() == 0.0
+        assert sampler.peak_queue_depth() == 0
+        assert sampler.backlog_fraction() == 0.0
+
+    def test_period_validation(self):
+        sampler = QueueSampler(period_ps=0)
+        with pytest.raises(ValueError):
+            sampler.attach(None, None)
+
+    def test_loaded_system_queues(self):
+        sampler = QueueSampler(period_ps=50_000)
+        small_run(
+            config=fbdimm_baseline(4),
+            programs=("swim", "mgrid", "applu", "equake"),
+            sampler=sampler,
+        )
+        assert sampler.peak_queue_depth() > 0
+
+
+class TestRunReport:
+    def test_report_mentions_key_facts(self):
+        result = small_run(config=fbdimm_amb_prefetch(1))
+        text = run_report(result)
+        assert "fbdimm" in text
+        assert "AMB prefetching: K=4" in text
+        assert "swim" in text
+        assert "coverage" in text
+        assert "ACT/PRE" in text
+
+    def test_report_without_prefetch(self):
+        result = small_run()
+        assert "AMB prefetching: off" in run_report(result)

@@ -1,0 +1,113 @@
+"""Tests for the terminal charts and the declarative sweep helper."""
+
+import pytest
+
+from repro.config import AmbPrefetchConfig, fbdimm_amb_prefetch
+from repro.experiments.charts import bar_chart, sparkline
+from repro.experiments.runner import ExperimentContext, ResultTable
+from repro.experiments.sweep import Sweep
+
+
+def table_with(values, title="t"):
+    t = ResultTable(title=title, columns=["name", "value"])
+    for i, v in enumerate(values):
+        t.add(name=f"row{i}", value=v)
+    return t
+
+
+class TestBarChart:
+    def test_longest_bar_belongs_to_max(self):
+        chart = bar_chart(table_with([1.0, 2.0, 4.0]), "value", width=20)
+        lines = chart.splitlines()[1:]
+        lengths = [line.count("#") for line in lines]
+        assert lengths[2] == max(lengths)
+        assert lengths[2] == 20
+        assert lengths[0] == 5
+
+    def test_labels_and_values_present(self):
+        chart = bar_chart(table_with([1.0]), "value")
+        assert "row0" in chart
+        assert "1.000" in chart
+
+    def test_baseline_marker(self):
+        chart = bar_chart(table_with([0.5, 2.0]), "value", baseline=1.0, width=20)
+        assert "|" in chart
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            bar_chart(table_with([1.0]), "nope")
+
+    def test_non_numeric_rejected(self):
+        t = ResultTable(title="t", columns=["value"])
+        t.add(value="hello")
+        with pytest.raises(ValueError):
+            bar_chart(t, "value")
+
+    def test_empty_table(self):
+        t = ResultTable(title="t", columns=["value"])
+        assert "empty" in bar_chart(t, "value")
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(table_with([1.0]), "value", width=2)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_flat(self):
+        assert set(sparkline([5.0, 5.0, 5.0])) == {" "}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        ctx = ExperimentContext(instructions=2_000)
+        sweep = Sweep(
+            axes={"k": [2, 4]},
+            build=lambda k: fbdimm_amb_prefetch(
+                prefetch=AmbPrefetchConfig(region_cachelines=k)
+            ),
+            workload="swim",
+            metric_name="ipc",
+        )
+        table = sweep.run(ctx, metric=lambda r: sum(r.core_ipcs))
+        assert len(table.rows) == 2
+        assert sweep.points_run == 2
+        assert table.column("k") == [2, 4]
+        assert all(v > 0 for v in table.column("ipc"))
+
+    def test_callable_workload_and_core_fixup(self):
+        ctx = ExperimentContext(instructions=2_000)
+        sweep = Sweep(
+            axes={"cores": [1, 2]},
+            build=lambda cores: fbdimm_amb_prefetch(num_cores=cores),
+            workload=lambda cores: "swim" if cores == 1 else "2C-1",
+        )
+        table = sweep.run(ctx, metric=lambda r: sum(r.core_ipcs))
+        assert table.column("workload") == ["swim", "2C-1"]
+
+    def test_empty_axes_rejected(self):
+        sweep = Sweep(axes={}, build=lambda: None)
+        with pytest.raises(ValueError):
+            sweep.run(ExperimentContext(instructions=1_000), metric=lambda r: 0.0)
+
+    def test_memoisation_shared_through_context(self):
+        ctx = ExperimentContext(instructions=2_000)
+        sweep = Sweep(
+            axes={"k": [4]},
+            build=lambda k: fbdimm_amb_prefetch(
+                prefetch=AmbPrefetchConfig(region_cachelines=k)
+            ),
+            workload="swim",
+        )
+        sweep.run(ctx, metric=lambda r: 0.0)
+        runs_after_first = ctx.runs_executed
+        sweep.run(ctx, metric=lambda r: 0.0)
+        assert ctx.runs_executed == runs_after_first

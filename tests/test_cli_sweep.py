@@ -1,0 +1,53 @@
+"""Tests for the CLI sweep subcommand and axis parsing."""
+
+import pytest
+
+from repro.__main__ import _parse_axes, main
+
+
+class TestAxisParsing:
+    def test_single_axis(self):
+        assert _parse_axes(["k=2,4,8"]) == {"k": [2, 4, 8]}
+
+    def test_multiple_axes(self):
+        axes = _parse_axes(["k=2,4", "rate=667,800"])
+        assert axes == {"k": [2, 4], "rate": [667, 800]}
+
+    def test_string_axis(self):
+        assert _parse_axes(["assoc=direct,full"]) == {"assoc": ["direct", "full"]}
+
+    def test_missing_equals(self):
+        with pytest.raises(SystemExit):
+            _parse_axes(["k2,4"])
+
+    def test_unknown_axis(self):
+        with pytest.raises(SystemExit):
+            _parse_axes(["banks=4,8"])
+
+    def test_empty_values(self):
+        with pytest.raises(SystemExit):
+            _parse_axes(["k="])
+
+    def test_no_axes(self):
+        with pytest.raises(SystemExit):
+            _parse_axes([])
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_charts(self, capsys):
+        code = main([
+            "sweep", "k=2,4", "--workload", "swim", "--insts", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep over k" in out
+        assert "#" in out  # bar chart rendered
+
+    def test_sweep_two_axes(self, capsys):
+        code = main([
+            "sweep", "k=4", "channels=1,2", "--workload", "vpr",
+            "--insts", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "channels" in out

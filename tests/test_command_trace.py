@@ -1,0 +1,96 @@
+"""DRAM command-trace tests: ordering and protocol legality."""
+
+import pytest
+
+from repro.config import DramTimings, PagePolicy
+from repro.dram.bank import Bank, RankTimer
+from repro.dram.commands import CommandType
+from repro.dram.resources import BusResource
+from repro.dram.timing import TimingPs
+
+T = TimingPs.from_config(DramTimings(), 3000, 4)
+
+
+def traced_bank(policy=PagePolicy.CLOSE_PAGE):
+    bank = Bank(0, T, policy)
+    bank.enable_trace()
+    return bank, BusResource("bus"), RankTimer()
+
+
+def kinds(bank):
+    return [record.kind for record in bank.command_log]
+
+
+class TestCloseTrace:
+    def test_read_sequence(self):
+        bank, bus, rank = traced_bank()
+        bank.read(0, 5, 1, bus, rank)
+        assert kinds(bank) == [
+            CommandType.ACTIVATE, CommandType.READ, CommandType.PRECHARGE,
+        ]
+
+    def test_group_read_has_k_reads(self):
+        bank, bus, rank = traced_bank()
+        bank.read(0, 5, 4, bus, rank)
+        assert kinds(bank) == [
+            CommandType.ACTIVATE,
+            CommandType.READ, CommandType.READ, CommandType.READ, CommandType.READ,
+            CommandType.PRECHARGE,
+        ]
+
+    def test_write_sequence(self):
+        bank, bus, rank = traced_bank()
+        bank.write(0, 5, bus, rank)
+        assert kinds(bank) == [
+            CommandType.ACTIVATE, CommandType.WRITE, CommandType.PRECHARGE,
+        ]
+
+    def test_protocol_timing_legal(self):
+        """ACT -> RD >= tRCD; RD -> PRE >= tRPD; per Table 2."""
+        bank, bus, rank = traced_bank()
+        bank.read(0, 5, 1, bus, rank)
+        act, rd, pre = bank.command_log
+        assert rd.time_ps - act.time_ps >= T.tRCD
+        assert pre.time_ps - rd.time_ps >= T.tRPD
+        assert pre.time_ps - act.time_ps >= T.tRAS
+
+    def test_trace_disabled_by_default(self):
+        bank = Bank(0, T, PagePolicy.CLOSE_PAGE)
+        bank.read(0, 5, 1, BusResource("b"), RankTimer())
+        assert bank.command_log is None
+
+    def test_trace_matches_stats(self):
+        bank, bus, rank = traced_bank()
+        bank.read(0, 5, 2, bus, rank)
+        bank.write(bank.ready_at, 6, bus, rank)
+        log_kinds = kinds(bank)
+        assert log_kinds.count(CommandType.ACTIVATE) == bank.stats.activates
+        assert log_kinds.count(CommandType.PRECHARGE) == bank.stats.precharges
+        assert log_kinds.count(CommandType.READ) == bank.stats.reads
+        assert log_kinds.count(CommandType.WRITE) == bank.stats.writes
+
+
+class TestOpenTrace:
+    def test_row_hit_emits_only_column_command(self):
+        bank, bus, rank = traced_bank(PagePolicy.OPEN_PAGE)
+        bank.read(0, 5, 1, bus, rank)
+        bank.command_log.clear()
+        bank.read(bank.column_ok, 5, 1, bus, rank)
+        assert kinds(bank) == [CommandType.READ]
+
+    def test_row_conflict_emits_pre_then_act(self):
+        bank, bus, rank = traced_bank(PagePolicy.OPEN_PAGE)
+        bank.read(0, 5, 1, bus, rank)
+        bank.command_log.clear()
+        bank.read(bank.precharge_ok, 9, 1, bus, rank)
+        assert kinds(bank) == [
+            CommandType.PRECHARGE, CommandType.ACTIVATE, CommandType.READ,
+        ]
+        pre, act, _ = bank.command_log
+        assert act.time_ps - pre.time_ps >= T.tRP
+
+    def test_rows_recorded(self):
+        bank, bus, rank = traced_bank(PagePolicy.OPEN_PAGE)
+        bank.read(0, 5, 1, bus, rank)
+        assert all(record.row == 5 for record in bank.command_log)
+        assert all(record.bank_id == 0 for record in bank.command_log)

@@ -1,0 +1,113 @@
+"""DDR3-generation presets and measurement warm-up."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    DDR3_TIMINGS,
+    SystemConfig,
+    ddr3_memory_overrides,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.system import run_system
+
+
+class TestDdr3Presets:
+    def test_timings_are_whole_clocks_at_1066(self):
+        clock_ns = 1.875
+        for name in ("tRP", "tRCD", "tCL", "tRC", "tRRD", "tRAS", "tWL", "tWPD"):
+            value = getattr(DDR3_TIMINGS, name)
+            assert (value / clock_ns) == int(value / clock_ns), name
+
+    def test_overrides_build_valid_config(self):
+        cfg = fbdimm_baseline(**ddr3_memory_overrides())
+        assert cfg.memory.data_rate_mts == 1066
+        assert cfg.memory.timings is DDR3_TIMINGS
+        assert cfg.memory.frame_ps == 3750
+
+    def test_rejects_ddr2_rates(self):
+        with pytest.raises(ValueError, match="DDR3"):
+            ddr3_memory_overrides(667)
+
+    def test_ddr3_outperforms_ddr2_under_load(self):
+        programs = ["swim", "mgrid", "applu", "equake"]
+        ddr2 = run_system(
+            dataclasses.replace(fbdimm_baseline(4), instructions_per_core=10_000),
+            programs,
+        )
+        ddr3 = run_system(
+            dataclasses.replace(
+                fbdimm_baseline(4, **ddr3_memory_overrides(1066)),
+                instructions_per_core=10_000,
+            ),
+            programs,
+        )
+        assert sum(ddr3.core_ipcs) > sum(ddr2.core_ipcs)
+
+    def test_amb_prefetch_works_on_ddr3(self):
+        cfg = dataclasses.replace(
+            fbdimm_amb_prefetch(1, **ddr3_memory_overrides(1333)),
+            instructions_per_core=8_000,
+        )
+        result = run_system(cfg, ["swim"])
+        assert result.prefetch_coverage > 0.2
+
+
+class TestWarmup:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="warmup"):
+            dataclasses.replace(
+                fbdimm_baseline(1),
+                instructions_per_core=1_000,
+                warmup_instructions=1_000,
+            )
+
+    def run_pair(self, warmup):
+        cfg = dataclasses.replace(
+            fbdimm_baseline(1),
+            instructions_per_core=12_000,
+            warmup_instructions=warmup,
+        )
+        return run_system(cfg, ["swim"])
+
+    def test_warmup_reduces_counted_reads(self):
+        cold = self.run_pair(0)
+        warm = self.run_pair(6_000)
+        assert warm.mem.demand_reads < cold.mem.demand_reads
+        assert warm.mem.activates < cold.mem.activates
+        assert warm.warmup_time_ps > 0
+
+    def test_device_and_completion_counters_stay_consistent(self):
+        warm = self.run_pair(6_000)
+        m = warm.mem
+        completed = m.total_reads + m.writes
+        # Close page, no prefetch: one ACT per access; boundary effects
+        # (transactions straddling the warm-up point or the end) stay
+        # within the in-flight window.
+        assert abs(m.activates - completed) <= 64
+
+    def test_warmup_ipc_uses_measurement_window(self):
+        warm = self.run_pair(6_000)
+        # 6000 instructions measured over (elapsed - warmup) time.
+        window = warm.elapsed_ps - warm.warmup_time_ps
+        cycles = window / warm.config.cpu.cycle_ps
+        expected = (12_000 - 6_000) / cycles
+        assert warm.core_ipcs[0] == pytest.approx(expected, rel=0.05)
+
+    def test_zero_warmup_unchanged(self):
+        cold = self.run_pair(0)
+        assert cold.warmup_time_ps == 0
+        assert cold.core_instructions == [12_000]
+
+    def test_warmup_with_prefetching(self):
+        cfg = dataclasses.replace(
+            fbdimm_amb_prefetch(1),
+            instructions_per_core=12_000,
+            warmup_instructions=4_000,
+        )
+        result = run_system(cfg, ["swim"])
+        # The AMB cache is warm when measurement starts; coverage holds up.
+        assert result.prefetch_coverage > 0.3
+        assert result.mem.prefetched_lines > 0

@@ -1,0 +1,79 @@
+"""Unit tests for the event queue: ordering, ties, cancellation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.event_queue import EventQueue
+
+
+def drain(queue):
+    out = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return out
+        out.append(event)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(30, lambda: None)
+        q.push(10, lambda: None)
+        q.push(20, lambda: None)
+        assert [e.time for e in drain(q)] == [10, 20, 30]
+
+    def test_same_time_pops_in_insertion_order(self):
+        q = EventQueue()
+        order = []
+        q.push(5, lambda: order.append("a"))
+        q.push(5, lambda: order.append("b"))
+        q.push(5, lambda: order.append("c"))
+        for event in drain(q):
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    def test_pop_sequence_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = [e.time for e in drain(q)]
+        assert popped == sorted(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        keep = q.push(1, lambda: None)
+        victim = q.push(2, lambda: None)
+        victim.cancel()
+        assert [e.time for e in drain(q)] == [1]
+        assert keep.time == 1
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        victim = q.push(2, lambda: None)
+        assert len(q) == 2
+        victim.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled_head(self):
+        q = EventQueue()
+        head = q.push(1, lambda: None)
+        q.push(7, lambda: None)
+        head.cancel()
+        assert q.peek_time() == 7
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, lambda: None)

@@ -1,0 +1,100 @@
+"""Experiment-harness tests: ResultTable, context caching, and cheap runs
+of the experiment drivers themselves."""
+
+import pytest
+
+from repro.config import ddr2_baseline, fbdimm_baseline
+from repro.experiments import latency_breakdown
+from repro.experiments.runner import ExperimentContext, ResultTable, mean
+
+
+class TestResultTable:
+    def make(self):
+        t = ResultTable(title="t", columns=["name", "value"])
+        t.add(name="a", value=1.0)
+        t.add(name="b", value=2.0)
+        return t
+
+    def test_column(self):
+        assert self.make().column("value") == [1.0, 2.0]
+
+    def test_unknown_column_on_add(self):
+        t = ResultTable(title="t", columns=["name"])
+        with pytest.raises(KeyError):
+            t.add(name="a", nope=1)
+
+    def test_unknown_column_on_read(self):
+        with pytest.raises(KeyError):
+            self.make().column("nope")
+
+    def test_row_for(self):
+        assert self.make().row_for("name", "b")["value"] == 2.0
+
+    def test_row_for_missing(self):
+        with pytest.raises(KeyError):
+            self.make().row_for("name", "z")
+
+    def test_format_contains_everything(self):
+        text = self.make().format()
+        assert "== t ==" in text
+        assert "name" in text and "value" in text
+        assert "1.000" in text and "b" in text
+
+    def test_format_empty_table(self):
+        t = ResultTable(title="empty", columns=["x"])
+        assert "empty" in t.format()
+
+
+class TestExperimentContext:
+    def test_runs_are_memoised(self):
+        ctx = ExperimentContext(instructions=2_000)
+        a = ctx.run(fbdimm_baseline(1), ["vpr"])
+        b = ctx.run(fbdimm_baseline(1), ["vpr"])
+        assert a is b
+        assert ctx.runs_executed == 1
+
+    def test_different_config_not_shared(self):
+        ctx = ExperimentContext(instructions=2_000)
+        ctx.run(fbdimm_baseline(1), ["vpr"])
+        ctx.run(ddr2_baseline(1), ["vpr"])
+        assert ctx.runs_executed == 2
+
+    def test_instruction_budget_applied(self):
+        ctx = ExperimentContext(instructions=2_000)
+        result = ctx.run(fbdimm_baseline(1), ["vpr"])
+        assert result.config.instructions_per_core == 2_000
+
+    def test_reference_ipcs_cover_all_programs(self):
+        ctx = ExperimentContext(instructions=1_000)
+        refs = ctx.reference_ipcs()
+        assert len(refs) == 12
+        assert all(v > 0 for v in refs.values())
+        assert ctx.reference_ipcs() is refs  # cached
+
+    def test_quick_mode_trims_workloads(self):
+        full = ExperimentContext().workloads_for(4)
+        quick = ExperimentContext(quick=True).workloads_for(4)
+        assert len(quick) < len(full)
+        assert set(quick) <= set(full)
+
+    def test_smt_speedup_of_reference_is_one(self):
+        ctx = ExperimentContext(instructions=2_000)
+        result = ctx.run(ddr2_baseline(1), ["vpr"])
+        assert ctx.smt_speedup(result) == pytest.approx(1.0)
+
+    def test_mean_helper(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestLatencyBreakdownExperiment:
+    """The Section 4 claim is exact and cheap: assert it outright."""
+
+    def test_headline_latencies(self):
+        table = latency_breakdown.run()
+        by = {(r["system"], r["case"]): r["latency_ns"] for r in table.rows}
+        assert by[("FBD", "miss")] == pytest.approx(63.0)
+        assert by[("FBD-AP", "amb hit")] == pytest.approx(33.0)
+        assert by[("FBD-AP", "miss")] == pytest.approx(63.0)
+        assert by[("DDR2", "miss")] < by[("FBD", "miss")]

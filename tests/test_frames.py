@@ -1,0 +1,168 @@
+"""Unit and property tests for the frame-accurate link schedulers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.frames import NorthboundLink, SouthboundLink
+
+FRAME = 6000
+
+
+class TestSouthboundCommands:
+    def test_three_commands_per_frame(self):
+        link = SouthboundLink("s", FRAME)
+        starts = [link.reserve_command(0) for _ in range(4)]
+        assert starts == [0, 0, 0, FRAME]
+
+    def test_alignment(self):
+        link = SouthboundLink("s", FRAME)
+        assert link.reserve_command(1) == FRAME
+        assert link.reserve_command(FRAME) == FRAME
+
+    def test_busy_accounting_counts_frames(self):
+        link = SouthboundLink("s", FRAME)
+        link.reserve_command(0)
+        link.reserve_command(0)  # same frame
+        assert link.busy_ps == FRAME
+        link.reserve_command(4 * FRAME)
+        assert link.busy_ps == 2 * FRAME
+
+    def test_invalid_frame_period(self):
+        with pytest.raises(ValueError):
+            SouthboundLink("s", 0)
+
+
+class TestSouthboundWrites:
+    def test_write_takes_four_data_frames(self):
+        link = SouthboundLink("s", FRAME)
+        start, end = link.reserve_write_data(0, 4)
+        assert start == 0
+        assert end == 4 * FRAME
+
+    def test_data_frames_skip_command_heavy_frames(self):
+        link = SouthboundLink("s", FRAME)
+        link.reserve_command(0)
+        link.reserve_command(0)  # frame 0 has two commands: no data room
+        start, end = link.reserve_write_data(0, 1)
+        assert start == FRAME
+
+    def test_data_joins_single_command_frame(self):
+        link = SouthboundLink("s", FRAME)
+        link.reserve_command(0)  # one command leaves room for data
+        start, _ = link.reserve_write_data(0, 1)
+        assert start == 0
+
+    def test_data_frames_not_necessarily_contiguous(self):
+        link = SouthboundLink("s", FRAME)
+        link.reserve_command(FRAME)
+        link.reserve_command(FRAME)  # frame 1 blocked for data
+        start, end = link.reserve_write_data(0, 2)
+        assert start == 0
+        assert end == 3 * FRAME  # frames 0 and 2
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            SouthboundLink("s", FRAME).reserve_write_data(0, 0)
+
+    def test_prune_drops_old_frames(self):
+        link = SouthboundLink("s", FRAME)
+        link.reserve_command(0)
+        link.prune_before(FRAME)
+        assert link._frames == {}
+        assert link.busy_ps == FRAME  # accounting survives pruning
+
+
+class TestNorthbound:
+    def test_contiguous_line(self):
+        link = NorthboundLink("n", FRAME)
+        start, end = link.reserve_line(0, 2)
+        assert (start, end) == (0, 2 * FRAME)
+
+    def test_second_line_queues(self):
+        link = NorthboundLink("n", FRAME)
+        link.reserve_line(0, 2)
+        start, end = link.reserve_line(0, 2)
+        assert start == 2 * FRAME
+
+    def test_backfill_between_lines(self):
+        link = NorthboundLink("n", FRAME)
+        link.reserve_line(0, 2)
+        link.reserve_line(6 * FRAME, 2)  # leaves frames 2-5 free
+        start, _ = link.reserve_line(0, 2)
+        assert start == 2 * FRAME
+
+    def test_contiguity_requirement_skips_single_holes(self):
+        link = NorthboundLink("n", FRAME)
+        link.reserve_line(0, 2)  # frames 0-1
+        link.reserve_line(3 * FRAME, 2)  # frames 3-4; frame 2 is a hole
+        start, _ = link.reserve_line(0, 2)
+        assert start == 5 * FRAME  # the single-frame hole cannot fit a line
+
+    def test_phase_shifts_grid(self):
+        link = NorthboundLink("n", FRAME, phase_ps=3000)
+        start, _ = link.reserve_line(0, 1)
+        assert start == 3000
+        start, _ = link.reserve_line(9001, 1)
+        assert start == 15_000
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            NorthboundLink("n", FRAME, phase_ps=FRAME)
+
+    def test_prune(self):
+        link = NorthboundLink("n", FRAME, phase_ps=3000)
+        link.reserve_line(0, 1)
+        link.prune_before(3000 + FRAME)
+        assert link._taken == {}
+
+
+class TestFrameProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40 * FRAME), max_size=50)
+    )
+    def test_commands_never_exceed_frame_capacity(self, asks):
+        link = SouthboundLink("s", FRAME)
+        for earliest in asks:
+            start = link.reserve_command(earliest)
+            assert start >= earliest
+            assert start % FRAME == 0
+        for state in link._frames.values():
+            commands, has_data = state
+            assert commands <= (1 if has_data else 3)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40 * FRAME), max_size=40)
+    )
+    def test_northbound_lines_never_overlap(self, asks):
+        link = NorthboundLink("n", FRAME)
+        intervals = []
+        for earliest in asks:
+            start, end = link.reserve_line(earliest, 2)
+            assert start >= earliest
+            intervals.append((start, end))
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30 * FRAME),
+                st.sampled_from(["cmd", "write"]),
+            ),
+            max_size=40,
+        )
+    )
+    def test_southbound_mixed_traffic_capacity(self, asks):
+        """No frame ever carries more than (3 commands) or (1 cmd + data)."""
+        link = SouthboundLink("s", FRAME)
+        for earliest, kind in asks:
+            if kind == "cmd":
+                link.reserve_command(earliest)
+            else:
+                link.reserve_write_data(earliest, 4)
+        for commands, has_data in link._frames.values():
+            if has_data:
+                assert commands <= 1
+            else:
+                assert commands <= 3

@@ -1,0 +1,149 @@
+"""Hardware stream prefetcher and DRAM refresh tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CpuConfig, DramTimings, PagePolicy, fbdimm_baseline
+from repro.cpu.core import Core
+from repro.cpu.l2 import L2FillTable
+from repro.cpu.mshr import Limiter
+from repro.dram.bank import Bank, RankTimer
+from repro.dram.resources import BusResource
+from repro.dram.timing import TimingPs
+from repro.engine.simulator import Simulator
+from repro.system import run_system
+from repro.workloads.trace import TraceEvent, TraceKind
+
+
+class FakeMemory:
+    def __init__(self, sim, latency_ps=63_000):
+        self.sim = sim
+        self.latency_ps = latency_ps
+        self.submitted = []
+
+    def submit(self, req):
+        self.submitted.append(req)
+        self.sim.schedule(self.latency_ps, lambda: req.complete(self.sim.now))
+
+
+def run_core(events, config, target=5_000):
+    sim = Simulator()
+    memory = FakeMemory(sim)
+    core = Core(
+        sim=sim, core_id=0, config=config, base_ipc=1.0, trace=iter(events),
+        controller=memory, l2=L2FillTable(4096), l2_mshr=Limiter(64),
+        target_instructions=target, on_finished=lambda c: None,
+    )
+    core.start()
+    sim.run(max_events=500_000)
+    return core, memory
+
+
+def stream_trace(lines, start_inst=100, stride_inst=100):
+    events = [
+        TraceEvent(start_inst + i * stride_inst, TraceKind.READ, line)
+        for i, line in enumerate(lines)
+    ]
+    tail = [
+        TraceEvent(10**9 + i, TraceKind.READ, 10**8 + i) for i in range(5)
+    ]
+    return iter(events + tail)
+
+
+class TestHwPrefetcher:
+    def test_disabled_by_default(self):
+        core, memory = run_core(stream_trace([10, 11, 12]), CpuConfig())
+        assert core.stats.hw_prefetches_issued == 0
+
+    def test_detects_ascending_stream(self):
+        config = CpuConfig(hw_prefetch_degree=2)
+        core, memory = run_core(stream_trace([10, 11, 12]), config)
+        assert core.stats.hw_prefetches_issued > 0
+
+    def test_no_prefetch_for_random_misses(self):
+        config = CpuConfig(hw_prefetch_degree=2)
+        core, memory = run_core(stream_trace([10, 500, 9000]), config)
+        assert core.stats.hw_prefetches_issued == 0
+
+    def test_prefetched_lines_turn_demands_into_hits(self):
+        config = CpuConfig(hw_prefetch_degree=4)
+        lines = list(range(100, 112))
+        core, memory = run_core(stream_trace(lines, stride_inst=500), config)
+        assert core.stats.l2_prefetch_hits + core.stats.l2_merges > 0
+
+    def test_degree_bounds_requests_per_miss(self):
+        config = CpuConfig(hw_prefetch_degree=2)
+        core, memory = run_core(stream_trace([10, 11]), config)
+        prefetches = [
+            r for r in memory.submitted if r.kind.name == "SW_PREFETCH"
+        ]
+        assert len(prefetches) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuConfig(hw_prefetch_degree=-1)
+
+    def test_end_to_end_speedup_without_sw_prefetch(self):
+        """HW prefetching replaces some of SP's benefit (Section 5.4's
+        expectation that results would be similar)."""
+        base = dataclasses.replace(
+            fbdimm_baseline(1), software_prefetch=False,
+            instructions_per_core=15_000,
+        )
+        off = run_system(base, ["swim"])
+        on = run_system(base.with_cpu(hw_prefetch_degree=4), ["swim"])
+        assert sum(on.core_ipcs) > sum(off.core_ipcs)
+
+
+T = TimingPs.from_config(DramTimings(), 3000, 4)
+
+
+class TestBankRefresh:
+    def test_refresh_blocks_bank_for_trfc(self):
+        bank = Bank(0, T, PagePolicy.CLOSE_PAGE)
+        bank.refresh(now=0, trfc_ps=127_500)
+        assert bank.ready_at == 127_500
+        assert bank.stats.refreshes == 1
+
+    def test_refresh_closes_open_row(self):
+        bank = Bank(0, T, PagePolicy.OPEN_PAGE)
+        bank.read(0, 5, 1, BusResource("b"), RankTimer())
+        bank.refresh(now=1_000_000, trfc_ps=127_500)
+        assert bank.open_row is None
+
+    def test_refresh_queues_behind_busy_bank(self):
+        bank = Bank(0, T, PagePolicy.CLOSE_PAGE)
+        bank.read(0, 5, 1, BusResource("b"), RankTimer())
+        busy_until = bank.ready_at
+        bank.refresh(now=0, trfc_ps=127_500)
+        assert bank.ready_at == busy_until + 127_500
+
+
+class TestSystemRefresh:
+    def test_refresh_fires_and_costs_performance(self):
+        # An aggressive 1 us interval makes the cost visible in a short
+        # run (the realistic 7.8 us tREFI needs longer runs to matter).
+        base = dataclasses.replace(
+            fbdimm_baseline(1), instructions_per_core=10_000
+        )
+        no_refresh = run_system(base, ["swim"])
+        with_refresh = run_system(
+            base.with_memory(refresh_interval_ns=1_000.0), ["swim"]
+        )
+        assert sum(with_refresh.core_ipcs) < sum(no_refresh.core_ipcs)
+        assert with_refresh.elapsed_ps > no_refresh.elapsed_ps
+
+    def test_realistic_refresh_effect_is_bounded(self):
+        """tRFC/tREFI = 127.5/7800 = 1.6 % of time; the hit must be of
+        that order, not catastrophic."""
+        base = dataclasses.replace(
+            fbdimm_baseline(1), instructions_per_core=30_000
+        )
+        no_refresh = sum(run_system(base, ["swim"]).core_ipcs)
+        with_refresh = sum(
+            run_system(
+                base.with_memory(refresh_interval_ns=7_800.0), ["swim"]
+            ).core_ipcs
+        )
+        assert 0.85 * no_refresh < with_refresh <= no_refresh

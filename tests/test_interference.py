@@ -1,0 +1,73 @@
+"""Per-core interference analysis tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.interference import fairness_ratio, per_core_breakdown
+from repro.config import ddr2_baseline, fbdimm_baseline
+from repro.system import run_system
+
+
+def small(config, insts=8_000):
+    return dataclasses.replace(config, instructions_per_core=insts)
+
+
+@pytest.fixture(scope="module")
+def mixed_run():
+    return run_system(small(fbdimm_baseline(2)), ["swim", "vpr"])
+
+
+@pytest.fixture(scope="module")
+def references():
+    return {
+        "swim": run_system(small(ddr2_baseline(1)), ["swim"]).core_ipcs[0],
+        "vpr": run_system(small(ddr2_baseline(1)), ["vpr"]).core_ipcs[0],
+    }
+
+
+class TestPerCoreBreakdown:
+    def test_one_row_per_core(self, mixed_run):
+        rows = per_core_breakdown(mixed_run)
+        assert [r.program for r in rows] == ["swim", "vpr"]
+        assert [r.core_id for r in rows] == [0, 1]
+
+    def test_reads_and_latency_populated(self, mixed_run):
+        rows = per_core_breakdown(mixed_run)
+        for row in rows:
+            assert row.demand_reads > 0
+            assert row.avg_latency_ns > 50.0
+
+    def test_memory_heavy_program_issues_more_reads(self):
+        # Without software prefetching (which covers most of swim's misses)
+        # the heavy streamer clearly issues more demand reads.
+        config = dataclasses.replace(
+            small(fbdimm_baseline(2)), software_prefetch=False
+        )
+        result = run_system(config, ["swim", "vpr"])
+        rows = {r.program: r for r in per_core_breakdown(result)}
+        assert rows["swim"].demand_reads > rows["vpr"].demand_reads
+
+    def test_relative_progress_with_references(self, mixed_run, references):
+        rows = per_core_breakdown(mixed_run, references)
+        for row in rows:
+            assert row.relative_progress is not None
+            assert 0 < row.relative_progress <= 1.2
+
+    def test_no_reference_leaves_none(self, mixed_run):
+        rows = per_core_breakdown(mixed_run)
+        assert all(r.relative_progress is None for r in rows)
+
+    def test_per_core_counts_sum_to_total(self, mixed_run):
+        rows = per_core_breakdown(mixed_run)
+        assert sum(r.demand_reads for r in rows) == mixed_run.mem.demand_reads
+
+
+class TestFairness:
+    def test_ratio_in_unit_interval(self, mixed_run, references):
+        ratio = fairness_ratio(mixed_run, references)
+        assert 0 < ratio <= 1.0
+
+    def test_requires_matching_references(self, mixed_run):
+        with pytest.raises(ValueError):
+            fairness_ratio(mixed_run, {"unknown": 1.0})

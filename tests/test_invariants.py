@@ -1,0 +1,157 @@
+"""Randomised end-to-end invariants (hypothesis).
+
+These drive the bare memory controller and the full system with generated
+request patterns and configurations, asserting properties that must hold
+for *any* input: conservation (every request completes exactly once),
+latency floors, DRAM-operation consistency, and determinism.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import (
+    AmbPrefetchConfig,
+    Associativity,
+    MemoryConfig,
+    MemoryKind,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.controller.controller import MemoryController
+from repro.controller.transaction import MemoryRequest, RequestKind
+from repro.engine.simulator import Simulator
+from repro.system import run_system
+
+#: (kind, line, arrival-gap) request descriptors.
+request_lists = st.lists(
+    st.tuples(
+        st.sampled_from([RequestKind.DEMAND_READ, RequestKind.WRITE,
+                         RequestKind.SW_PREFETCH]),
+        st.integers(min_value=0, max_value=4000),
+        st.integers(min_value=0, max_value=50_000),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+memory_variants = st.sampled_from([
+    MemoryConfig(kind=MemoryKind.DDR2),
+    MemoryConfig(kind=MemoryKind.FBDIMM),
+    fbdimm_amb_prefetch().memory,
+    fbdimm_amb_prefetch(
+        prefetch=AmbPrefetchConfig(region_cachelines=8)
+    ).memory,
+    fbdimm_amb_prefetch(
+        prefetch=AmbPrefetchConfig(associativity=Associativity.DIRECT)
+    ).memory,
+    fbdimm_amb_prefetch(
+        prefetch=AmbPrefetchConfig(full_latency_hits=True)
+    ).memory,
+])
+
+
+def drive(memory: MemoryConfig, asks):
+    sim = Simulator()
+    controller = MemoryController(sim, memory)
+    completed = []
+    requests = []
+    time = 0
+    for kind, line, gap in asks:
+        time += gap
+        req = MemoryRequest(
+            kind=kind, line_addr=line, core_id=0, arrival=time,
+            on_complete=completed.append,
+        )
+        requests.append(req)
+        sim.schedule_at(time, lambda r=req: controller.submit(r))
+    sim.run(max_events=2_000_000)
+    return controller, requests, completed
+
+
+class TestControllerConservation:
+    @given(memory=memory_variants, asks=request_lists)
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_request_completes_exactly_once(self, memory, asks):
+        controller, requests, completed = drive(memory, asks)
+        assert len(completed) == len(requests)
+        assert {r.req_id for r in completed} == {r.req_id for r in requests}
+        assert controller.drained()
+
+    @given(memory=memory_variants, asks=request_lists)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_latency_floors(self, memory, asks):
+        _, requests, _ = drive(memory, asks)
+        overhead = 12_000
+        for req in requests:
+            assert req.finish_time >= req.arrival + overhead
+            if req.kind.is_read and not req.amb_hit:
+                # A real DRAM access can't beat overhead + tRCD + tCL.
+                assert req.latency >= overhead + 30_000
+
+    @given(asks=request_lists)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_dram_ops_consistent_close_page(self, asks):
+        """Close page without prefetch: ACT == PRE == column accesses."""
+        controller, requests, _ = drive(MemoryConfig(kind=MemoryKind.FBDIMM), asks)
+        controller.finalize()
+        stats = controller.stats
+        assert stats.activates == stats.column_accesses
+        assert stats.activates == len(requests)
+
+    @given(asks=request_lists)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_prefetch_never_loses_requests(self, asks):
+        controller, requests, completed = drive(fbdimm_amb_prefetch().memory, asks)
+        assert len(completed) == len(requests)
+        controller.finalize()
+        stats = controller.stats
+        # Hits + group fetches account for every read; prefetched lines
+        # come only from group fetches (K-1 each).
+        assert stats.prefetched_lines % 3 == 0
+
+
+class TestSystemDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        program=st.sampled_from(["swim", "vpr", "gap"]),
+    )
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bitwise_reproducible(self, seed, program):
+        config = dataclasses.replace(
+            fbdimm_amb_prefetch(1), seed=seed, instructions_per_core=3_000
+        )
+        a = run_system(config, [program])
+        b = run_system(config, [program])
+        assert a.elapsed_ps == b.elapsed_ps
+        assert a.core_ipcs == b.core_ipcs
+        assert a.mem.activates == b.mem.activates
+        assert a.mem.amb_hits == b.mem.amb_hits
+
+    @given(
+        cores=st.sampled_from([1, 2]),
+        kind=st.sampled_from(["ddr2", "fbd", "ap"]),
+    )
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_rates_are_sane(self, cores, kind):
+        factory = {
+            "ddr2": ddr2_baseline, "fbd": fbdimm_baseline,
+            "ap": fbdimm_amb_prefetch,
+        }[kind]
+        config = dataclasses.replace(
+            factory(cores), instructions_per_core=4_000
+        )
+        programs = ["swim", "gap"][:cores]
+        result = run_system(config, programs)
+        peak = config.memory.peak_bandwidth_gbs()
+        assert 0 < result.utilized_bandwidth_gbs <= peak
+        assert all(0 < ipc <= 8 for ipc in result.core_ipcs)
+        assert result.avg_read_latency_ns >= 40.0

@@ -1,0 +1,129 @@
+"""Address-mapping tests: interleaving schemes and region co-location."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import (
+    AmbPrefetchConfig,
+    InterleaveScheme,
+    MemoryConfig,
+    MemoryKind,
+)
+from repro.controller.mapping import AddressMapper
+
+
+def mapper_for(scheme, k=4):
+    prefetch = AmbPrefetchConfig(
+        enabled=scheme is not InterleaveScheme.CACHELINE, region_cachelines=k
+    )
+    kind = MemoryKind.FBDIMM
+    config = MemoryConfig(kind=kind, interleave=scheme, prefetch=prefetch)
+    return AddressMapper(config)
+
+
+class TestCachelineInterleave:
+    def test_consecutive_lines_rotate_channels(self):
+        m = mapper_for(InterleaveScheme.CACHELINE)
+        channels = [m.map(i).channel for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_then_rotate_dimms(self):
+        m = mapper_for(InterleaveScheme.CACHELINE)
+        assert m.map(0).dimm == 0
+        assert m.map(4).dimm == 1
+        assert m.map(12).dimm == 3
+        assert m.map(16).dimm == 0
+
+    def test_then_rotate_banks(self):
+        m = mapper_for(InterleaveScheme.CACHELINE)
+        assert m.map(0).bank == 0
+        assert m.map(16).bank == 1
+        assert m.map(48).bank == 3
+        assert m.map(64).bank == 0
+
+    def test_adjacent_lines_never_share_a_bank_page(self):
+        m = mapper_for(InterleaveScheme.CACHELINE)
+        a, b = m.map(0), m.map(1)
+        assert (a.channel, a.dimm, a.bank) != (b.channel, b.dimm, b.bank)
+
+
+class TestMultiCachelineInterleave:
+    def test_region_lines_share_bank_and_row(self):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=4)
+        for region in (0, 1, 7, 123):
+            mapped = [m.map(line) for line in m.region_lines_of(region)]
+            coords = {(x.channel, x.dimm, x.bank, x.row) for x in mapped}
+            assert len(coords) == 1, "a region must live in one DRAM page"
+
+    def test_region_lines_are_adjacent_in_page(self):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=4)
+        mapped = [m.map(line) for line in m.region_lines_of(5)]
+        slots = [x.line_in_page for x in mapped]
+        assert slots == list(range(slots[0], slots[0] + 4))
+
+    def test_consecutive_regions_rotate_channels(self):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=4)
+        assert m.map(0).channel == 0
+        assert m.map(4).channel == 1
+        assert m.map(8).channel == 2
+        assert m.map(16).channel == 0
+
+    def test_region_of(self):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=4)
+        assert m.region_of(0) == 0
+        assert m.region_of(3) == 0
+        assert m.region_of(4) == 1
+
+    def test_k8(self):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=8)
+        mapped = [m.map(line) for line in m.region_lines_of(3)]
+        assert len({(x.channel, x.dimm, x.bank, x.row) for x in mapped}) == 1
+
+
+class TestPageInterleave:
+    def test_whole_page_shares_bank(self):
+        m = mapper_for(InterleaveScheme.PAGE)
+        lines_per_page = m.config.lines_per_page
+        mapped = [m.map(i) for i in range(lines_per_page)]
+        assert len({(x.channel, x.dimm, x.bank, x.row) for x in mapped}) == 1
+
+    def test_next_page_moves_channel(self):
+        m = mapper_for(InterleaveScheme.PAGE)
+        lines_per_page = m.config.lines_per_page
+        assert m.map(lines_per_page).channel == 1
+
+
+class TestValidationAndInverse:
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            mapper_for(InterleaveScheme.CACHELINE).map(-1)
+
+    def test_indivisible_page_rejected(self):
+        prefetch = AmbPrefetchConfig(enabled=True, region_cachelines=7)
+        with pytest.raises(ValueError):
+            AddressMapper(
+                MemoryConfig(
+                    interleave=InterleaveScheme.MULTI_CACHELINE, prefetch=prefetch
+                )
+            )
+
+    @given(st.integers(min_value=0, max_value=2**26 - 1))
+    def test_unmap_roundtrip_cacheline(self, line):
+        m = mapper_for(InterleaveScheme.CACHELINE)
+        assert m.unmap(m.map(line)) == line
+
+    @given(st.integers(min_value=0, max_value=2**26 - 1))
+    def test_unmap_roundtrip_multicacheline(self, line):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=4)
+        assert m.unmap(m.map(line)) == line
+
+    @given(st.integers(min_value=0, max_value=2**24))
+    def test_coordinates_in_range(self, line):
+        m = mapper_for(InterleaveScheme.MULTI_CACHELINE, k=4)
+        x = m.map(line)
+        assert 0 <= x.channel < 4
+        assert 0 <= x.dimm < 4
+        assert 0 <= x.bank < 4
+        assert 0 <= x.row < m.rows
+        assert 0 <= x.line_in_page < m.lines_per_page
+        assert 0 <= x.line_in_region < 4

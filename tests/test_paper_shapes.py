@@ -1,0 +1,205 @@
+"""Integration tests asserting the paper's qualitative result shapes.
+
+These run the real experiment drivers at reduced scale (quick workload
+subsets, small instruction budgets), so they check *directions and
+orderings* — who wins, which way a knob moves a metric — rather than
+absolute numbers.  EXPERIMENTS.md records the full-scale paper-vs-measured
+comparison.
+"""
+
+import pytest
+
+from repro.config import AmbPrefetchConfig, fbdimm_amb_prefetch, fbdimm_baseline
+from repro.experiments import (
+    fig04_smt_speedup,
+    fig07_amb_speedup,
+    fig08_coverage,
+    fig09_decomposition,
+    fig11_sensitivity,
+    fig12_sw_prefetch,
+    fig13_power,
+)
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    """One shared, memoising context for every shape test."""
+    return ExperimentContext(instructions=20_000, quick=True)
+
+
+class TestFig4Shape:
+    def test_fbd_tracks_ddr2_at_low_core_counts_and_wins_at_eight(self, ctx):
+        summary = fig04_smt_speedup.group_means(fig04_smt_speedup.run(ctx))
+        ratio = {r["cores"]: r["fbd_over_ddr2"] for r in summary.rows}
+        # FB-DIMM is comparable-or-worse for 1-2 cores...
+        assert ratio[1] < 1.02
+        assert ratio[2] < 1.02
+        # ...and clearly better at 8 cores (the paper's +6 %).
+        assert ratio[8] > 1.0
+        # Monotone improvement of FBD's relative standing with cores.
+        assert ratio[8] > ratio[1]
+
+
+class TestFig7Shape:
+    def test_ap_improves_every_workload(self, ctx):
+        table = fig07_amb_speedup.run(ctx)
+        assert all(r["improvement"] > 0 for r in table.rows), (
+            "the paper reports no workload with negative AP speedup"
+        )
+
+    def test_average_improvement_in_paper_band(self, ctx):
+        summary = fig07_amb_speedup.group_means(fig07_amb_speedup.run(ctx))
+        for row in summary.rows:
+            assert 0.05 < row["improvement"] < 0.35, (
+                f"{row['cores']}-core AP gain {row['improvement']:.3f} far "
+                "from the paper's 15-19% band"
+            )
+
+
+class TestFig8Shape:
+    def test_coverage_rises_with_region_size(self, ctx):
+        table = fig08_coverage.run(ctx)
+
+        def cov(variant, cores=1):
+            for r in table.rows:
+                if r["variant"] == variant and r["cores"] == cores:
+                    return r["coverage"]
+            raise KeyError(variant)
+
+        assert cov("#CL=2") < cov("#CL=4 (default)") < cov("#CL=8")
+
+    def test_efficiency_falls_with_region_size(self, ctx):
+        table = fig08_coverage.run(ctx)
+
+        def eff(variant, cores=4):
+            for r in table.rows:
+                if r["variant"] == variant and r["cores"] == cores:
+                    return r["efficiency"]
+            raise KeyError(variant)
+
+        assert eff("#CL=2") > eff("#CL=4 (default)") > eff("#CL=8")
+
+    def test_coverage_below_theoretical_bound(self, ctx):
+        table = fig08_coverage.run(ctx)
+        for row in table.rows:
+            assert row["coverage"] <= row["bound"] + 1e-9
+
+    def test_lower_associativity_hurts(self, ctx):
+        table = fig08_coverage.run(ctx)
+
+        def cov(variant, cores=4):
+            for r in table.rows:
+                if r["variant"] == variant and r["cores"] == cores:
+                    return r["coverage"]
+            raise KeyError(variant)
+
+        assert cov("Set=direct") < cov("Set=2") <= cov("#CL=4 (default)") + 1e-9
+
+
+class TestFig9Shape:
+    def test_latency_gain_positive_everywhere(self, ctx):
+        table = fig09_decomposition.run(ctx)
+        for row in table.rows:
+            assert row["latency_gain"] > 0, "AP must beat APFL"
+
+    def test_bandwidth_gain_positive_at_high_core_counts(self, ctx):
+        """Our FR-FCFS-with-backfill controller absorbs bank conflicts
+        better than the paper's, so the pure bandwidth-utilisation gain
+        (APFL over FBD) only emerges clearly once the channels are loaded;
+        see EXPERIMENTS.md."""
+        table = fig09_decomposition.run(ctx)
+        by_cores = {r["cores"]: r for r in table.rows}
+        assert by_cores[4]["bandwidth_gain"] > 0
+        assert by_cores[8]["bandwidth_gain"] > 0
+
+    def test_bandwidth_share_grows_with_cores(self, ctx):
+        """The paper's trend: more cores -> bandwidth matters more."""
+        table = fig09_decomposition.run(ctx)
+        by_cores = {r["cores"]: r for r in table.rows}
+        assert by_cores[8]["bandwidth_gain"] > by_cores[1]["bandwidth_gain"]
+
+    def test_ap_beats_fbd_everywhere(self, ctx):
+        table = fig09_decomposition.run(ctx)
+        for row in table.rows:
+            assert row["fbd"] < row["fbd_ap"]
+
+
+class TestFig11Shape:
+    def test_direct_mapped_loses_several_percent(self, ctx):
+        table = fig11_sensitivity.run(ctx)
+        for row in table.rows:
+            if row["variant"] == "Set=direct":
+                assert row["normalised"] < 0.995
+            if row["variant"] == "Set=2":
+                assert row["normalised"] > 0.9
+
+    def test_buffer_sizes_are_close(self, ctx):
+        table = fig11_sensitivity.run(ctx)
+        for row in table.rows:
+            if row["variant"] in ("#entry=32", "#entry=128"):
+                assert row["normalised"] == pytest.approx(1.0, abs=0.05)
+
+    def test_default_rows_are_exactly_one(self, ctx):
+        table = fig11_sensitivity.run(ctx)
+        for row in table.rows:
+            if "(default)" in row["variant"]:
+                assert row["normalised"] == pytest.approx(1.0)
+
+
+class TestFig12Shape:
+    def test_prefetchers_complementary(self, ctx):
+        table = fig12_sw_prefetch.run(ctx)
+        for row in table.rows:
+            assert row["sp"] > 1.0
+            assert row["ap"] > 1.0
+            assert row["ap_sp"] > max(row["sp"], row["ap"]), (
+                "combining both prefetchers must beat either alone"
+            )
+            assert row["additivity"] == pytest.approx(1.0, abs=0.15)
+
+    def test_ap_overtakes_sp_at_eight_cores(self, ctx):
+        table = fig12_sw_prefetch.run(ctx)
+        by_cores = {r["cores"]: r for r in table.rows}
+        assert by_cores[8]["ap"] > by_cores[8]["sp"]
+        assert by_cores[1]["sp"] > by_cores[1]["ap"]
+
+
+class TestFig13Shape:
+    def test_default_config_saves_power(self, ctx):
+        table = fig13_power.run(ctx)
+        for row in table.rows:
+            if row["variant"] == "#CL=4 (default)":
+                assert row["relative_power"] < 0.95
+
+    def test_acts_fall_and_cas_rise(self, ctx):
+        table = fig13_power.run(ctx)
+        for row in table.rows:
+            assert row["act_change"] < 0
+            assert row["cas_change"] > 0
+
+    def test_larger_regions_trade_acts_for_cas(self, ctx):
+        table = fig13_power.run(ctx)
+
+        def row_of(variant, cores=4):
+            for r in table.rows:
+                if r["variant"] == variant and r["cores"] == cores:
+                    return r
+            raise KeyError(variant)
+
+        k2, k4, k8 = row_of("#CL=2"), row_of("#CL=4 (default)"), row_of("#CL=8")
+        assert k2["act_change"] > k4["act_change"] > k8["act_change"]
+        assert k2["cas_change"] < k4["cas_change"] < k8["cas_change"]
+
+    def test_k8_power_erodes_vs_k4_at_high_core_count(self, ctx):
+        table = fig13_power.run(ctx)
+
+        def power(variant, cores):
+            for r in table.rows:
+                if r["variant"] == variant and r["cores"] == cores:
+                    return r["relative_power"]
+            raise KeyError(variant)
+
+        # The wasted column accesses of K=8 eat into the saving (the
+        # paper's balance argument, Section 5.5).
+        assert power("#CL=8", 8) > power("#CL=4 (default)", 8) - 0.02

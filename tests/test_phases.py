@@ -1,0 +1,85 @@
+"""Phase-changing workload tests."""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.config import fbdimm_amb_prefetch
+from repro.system import System
+from repro.workloads.phases import Phase, PhasedTrace, alternating, phase_boundaries
+from repro.workloads.spec import PROGRAMS, ProgramProfile
+from repro.workloads.trace import TraceKind, validate
+
+STREAMY = PROGRAMS["swim"]
+IRREGULAR = PROGRAMS["vpr"]
+
+
+def take(trace, n):
+    return list(itertools.islice(iter(trace), n))
+
+
+class TestPhasedTrace:
+    def test_monotone_across_boundaries(self):
+        trace = PhasedTrace([Phase(STREAMY, 2_000), Phase(IRREGULAR, 2_000)])
+        events = take(trace, 400)
+        validate(events)
+
+    def test_phase_density_changes(self):
+        """The streamy phase (MPKI 30) is denser than the irregular one."""
+        trace = PhasedTrace([Phase(STREAMY, 10_000), Phase(IRREGULAR, 10_000)],
+                            software_prefetch=False)
+        events = take(trace, 2_000)
+        phase1 = [e for e in events if e.inst < 10_000]
+        phase2 = [e for e in events if 10_000 <= e.inst < 20_000]
+        assert len(phase1) > 2 * len(phase2)
+
+    def test_cycles_repeat_with_fresh_randomness(self):
+        trace = PhasedTrace([Phase(IRREGULAR, 500)])
+        events = take(trace, 60)
+        assert events[-1].inst > 500  # crossed into later cycles
+        validate(events)
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedTrace([])
+
+    def test_zero_length_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(STREAMY, 0)
+
+    def test_alternating_helper(self):
+        trace = alternating(STREAMY, IRREGULAR, phase_instructions=1_000)
+        events = take(trace, 100)
+        validate(events)
+
+    def test_boundaries(self):
+        phases = [Phase(STREAMY, 100), Phase(IRREGULAR, 50)]
+        assert phase_boundaries(phases, cycles=2) == [100, 150, 250, 300]
+
+    def test_determinism(self):
+        a = take(PhasedTrace([Phase(STREAMY, 1_000)], seed=4), 100)
+        b = take(PhasedTrace([Phase(STREAMY, 1_000)], seed=4), 100)
+        assert a == b
+
+
+class TestPhasedEndToEnd:
+    def test_amb_cache_survives_phase_changes(self):
+        """A run spanning several phase changes completes and still finds
+        coverage during the streamy phases."""
+        profile_stream = dataclasses.replace(STREAMY, name="ph-stream")
+        profile_random = ProgramProfile(
+            name="ph-random", base_ipc=1.2, mpki=8.0, write_fraction=0.2,
+            streams=2, run_length=1, sw_prefetch_coverage=0.0,
+        )
+        trace = PhasedTrace(
+            [Phase(profile_stream, 4_000), Phase(profile_random, 4_000)],
+            software_prefetch=False,
+        )
+        config = dataclasses.replace(
+            fbdimm_amb_prefetch(1), instructions_per_core=16_000,
+            software_prefetch=False,
+        )
+        result = System.from_traces(config, [trace], base_ipcs=[1.0]).run()
+        assert result.mem.demand_reads > 0
+        assert 0.1 < result.prefetch_coverage < 0.75

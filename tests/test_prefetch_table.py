@@ -1,0 +1,146 @@
+"""Prefetch-information-table tests: lookup, replacement, associativity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import AmbPrefetchConfig, Associativity, ReplacementPolicy
+from repro.controller.prefetch_table import PrefetchTable
+
+
+def table(entries=8, assoc=Associativity.FULL, repl=ReplacementPolicy.FIFO):
+    return PrefetchTable(
+        AmbPrefetchConfig(
+            cache_entries=entries, associativity=assoc, replacement=repl
+        )
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        t = table()
+        assert not t.lookup(10)
+        t.insert([10])
+        assert t.lookup(10)
+        assert t.stats.lookups == 2
+        assert t.stats.hits == 1
+
+    def test_contains_is_stat_free(self):
+        t = table()
+        t.insert([10])
+        assert t.contains(10)
+        assert not t.contains(11)
+        assert t.stats.lookups == 0
+
+    def test_occupancy(self):
+        t = table()
+        t.insert([1, 2, 3])
+        assert t.occupancy() == 3
+
+    def test_insert_existing_is_not_duplicated(self):
+        t = table()
+        t.insert([1])
+        t.insert([1])
+        assert t.occupancy() == 1
+        assert t.stats.inserts == 1
+
+    def test_resident_lines_snapshot(self):
+        t = table()
+        t.insert([5, 9])
+        assert set(t.resident_lines()) == {5, 9}
+
+
+class TestFifoReplacement:
+    def test_evicts_oldest_insert(self):
+        t = table(entries=4)
+        t.insert([1, 2, 3, 4])
+        t.insert([5])
+        assert not t.contains(1)
+        assert t.contains(5)
+        assert t.stats.evictions == 1
+
+    def test_hit_does_not_refresh_fifo_order(self):
+        t = table(entries=4)
+        t.insert([1, 2, 3, 4])
+        assert t.lookup(1)  # FIFO: hitting must not protect line 1
+        t.insert([5])
+        assert not t.contains(1)
+
+    def test_occupancy_never_exceeds_entries(self):
+        t = table(entries=4)
+        for i in range(20):
+            t.insert([i])
+        assert t.occupancy() == 4
+
+
+class TestLruReplacement:
+    def test_hit_protects_line(self):
+        t = table(entries=4, repl=ReplacementPolicy.LRU)
+        t.insert([1, 2, 3, 4])
+        assert t.lookup(1)  # LRU: 1 becomes most-recent
+        t.insert([5])
+        assert t.contains(1)
+        assert not t.contains(2)
+
+
+class TestAssociativity:
+    def test_direct_mapped_conflicts(self):
+        t = table(entries=4, assoc=Associativity.DIRECT)
+        # Lines 0 and 4 share set 0 in a 4-set direct-mapped table.
+        t.insert([0])
+        t.insert([4])
+        assert not t.contains(0)
+        assert t.contains(4)
+
+    def test_two_way_tolerates_one_conflict(self):
+        t = table(entries=4, assoc=Associativity.TWO_WAY)
+        # 2 sets of 2 ways; lines 0, 2, 4 all map to set 0.
+        t.insert([0])
+        t.insert([2])
+        assert t.contains(0) and t.contains(2)
+        t.insert([4])
+        assert not t.contains(0)
+        assert t.contains(2) and t.contains(4)
+
+    def test_full_assoc_single_set(self):
+        t = table(entries=8, assoc=Associativity.FULL)
+        assert t.num_sets == 1
+        assert t.ways == 8
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        t = table()
+        t.insert([7])
+        assert t.invalidate(7)
+        assert not t.contains(7)
+        assert t.stats.invalidations == 1
+
+    def test_invalidate_absent(self):
+        t = table()
+        assert not t.invalidate(7)
+        assert t.stats.invalidations == 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+    def test_occupancy_bounded_full_assoc(self, lines):
+        t = table(entries=16)
+        t.insert(lines)
+        assert t.occupancy() <= 16
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=200),
+        st.sampled_from(list(Associativity)),
+    )
+    def test_per_set_bound(self, lines, assoc):
+        t = table(entries=16, assoc=assoc)
+        t.insert(lines)
+        for cache_set in t._sets:
+            assert len(cache_set) <= t.ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_most_recent_insert_always_resident(self, lines):
+        t = table(entries=4)
+        for line in lines:
+            t.insert([line])
+            assert t.contains(line)

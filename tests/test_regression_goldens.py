@@ -1,0 +1,43 @@
+"""Golden-number regression: the simulator's exact behaviour is pinned.
+
+If one of these fails after an *intentional* model change, regenerate with
+``python -m repro.experiments.regression --update`` and review the diff of
+``goldens.json`` like any other code change.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import regression
+
+
+class TestGoldens:
+    def test_goldens_file_exists_and_parses(self):
+        goldens = regression.load_goldens()
+        assert len(goldens) == len(regression._scenarios())
+        for name, metrics in goldens.items():
+            assert set(regression._METRICS) <= set(metrics), name
+
+    def test_behaviour_matches_goldens(self):
+        problems = regression.compare()
+        assert problems == [], "\n".join(problems)
+
+    def test_capture_is_repeatable(self):
+        assert regression.capture() == regression.capture()
+
+    def test_compare_detects_drift(self, tmp_path, monkeypatch):
+        goldens = regression.load_goldens()
+        tampered = json.loads(json.dumps(goldens))
+        first = next(iter(tampered))
+        tampered[first]["activates"] += 1
+        path = tmp_path / "goldens.json"
+        path.write_text(json.dumps(tampered))
+        monkeypatch.setattr(regression, "GOLDEN_PATH", path)
+        problems = regression.compare()
+        assert any("activates" in p for p in problems)
+
+    def test_missing_goldens_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(regression, "GOLDEN_PATH", tmp_path / "nope.json")
+        with pytest.raises(FileNotFoundError):
+            regression.load_goldens()

@@ -1,0 +1,160 @@
+"""Bus resource tests: backfill, pruning, tagged switch gaps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.resources import BusResource, BusView, TaggedBusResource
+
+
+class TestBusResource:
+    def test_first_reservation_starts_at_earliest(self):
+        bus = BusResource("b")
+        assert bus.reserve(100, 10) == 100
+
+    def test_busy_bus_pushes_later(self):
+        bus = BusResource("b")
+        bus.reserve(0, 10)
+        assert bus.reserve(5, 10) == 10
+
+    def test_backfill_uses_gap(self):
+        bus = BusResource("b")
+        bus.reserve(0, 10)  # [0, 10)
+        bus.reserve(100, 10)  # [100, 110)
+        assert bus.reserve(20, 10) == 20  # fits between
+
+    def test_backfill_gap_too_small(self):
+        bus = BusResource("b")
+        bus.reserve(0, 10)
+        bus.reserve(15, 10)  # [15, 25)
+        assert bus.reserve(8, 10) == 25  # 5-wide gap rejected
+
+    def test_next_free_does_not_book(self):
+        bus = BusResource("b")
+        bus.reserve(0, 10)
+        assert bus.next_free(0) == 10
+        assert bus.next_free(0) == 10
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BusResource("b").reserve(0, 0)
+
+    def test_busy_accounting_and_utilisation(self):
+        bus = BusResource("b")
+        bus.reserve(0, 30)
+        bus.reserve(50, 20)
+        assert bus.busy_ps == 50
+        assert bus.utilisation(100) == pytest.approx(0.5)
+        assert bus.utilisation(0) == 0.0
+
+    def test_prune_drops_expired(self):
+        bus = BusResource("b")
+        bus.reserve(0, 10)
+        bus.reserve(20, 10)
+        bus.prune_before(15)
+        # The [0,10) interval is gone; its slot is reusable history, but
+        # reservations never start in the past anyway.
+        assert bus.reserve(15, 5) == 15
+
+    def test_free_at(self):
+        bus = BusResource("b")
+        assert bus.free_at == 0
+        bus.reserve(0, 10)
+        assert bus.free_at == 10
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=1, max_value=50),
+            ),
+            max_size=40,
+        )
+    )
+    def test_reservations_never_overlap(self, asks):
+        bus = BusResource("b")
+        granted = []
+        for earliest, duration in asks:
+            start = bus.reserve(earliest, duration)
+            assert start >= earliest
+            granted.append((start, start + duration))
+        granted.sort()
+        for (s1, e1), (s2, e2) in zip(granted, granted[1:]):
+            assert e1 <= s2, "overlapping bus reservations"
+
+
+class TestTaggedBusResource:
+    def test_same_tag_streams_gaplessly(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        bus.reserve(0, 10, "rd")
+        assert bus.reserve(0, 10, "rd") == 10
+
+    def test_tag_change_pays_gap(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        bus.reserve(0, 10, "rd")
+        assert bus.reserve(0, 10, "wr") == 15
+
+    def test_gap_required_before_later_interval(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        bus.reserve(0, 10, "a")  # [0,10)
+        bus.reserve(30, 10, "a")  # [30,40)
+        # A different tag needs 5 lead and 5 tail: 10+5=15 start, ends 25,
+        # and 25 + 5 <= 30 holds, so it fits in the gap.
+        assert bus.reserve(0, 10, "b") == 15
+
+    def test_gap_that_only_fits_same_tag(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        bus.reserve(0, 10, "a")
+        bus.reserve(22, 10, "a")  # gap [10, 22) is 12 wide
+        # Same tag fits (10..20); different tag needs 5+10+5=20: pushed out.
+        assert bus.reserve(0, 10, "b") == 37  # after [22,32) + 5 gap
+
+    def test_prune_keeps_last_for_gap_accounting(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        bus.reserve(0, 10, "a")
+        bus.prune_before(50)
+        # Last interval retained: a different tag right after still pays.
+        assert bus.reserve(10, 10, "b") == 15
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TaggedBusResource("d", 5).reserve(0, 0, "a")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),
+                st.integers(min_value=1, max_value=30),
+                st.sampled_from(["rd", "wr"]),
+            ),
+            max_size=30,
+        )
+    )
+    def test_no_overlap_and_gaps_respected(self, asks):
+        gap = 7
+        bus = TaggedBusResource("d", switch_gap_ps=gap)
+        granted = []
+        for earliest, duration, tag in asks:
+            start = bus.reserve(earliest, duration, tag)
+            assert start >= earliest
+            granted.append((start, start + duration, tag))
+        granted.sort()
+        for (s1, e1, t1), (s2, e2, t2) in zip(granted, granted[1:]):
+            required = 0 if t1 == t2 else gap
+            assert s2 >= e1 + required
+
+
+class TestBusView:
+    def test_view_binds_tag(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        rd = BusView(bus, "rd")
+        wr = BusView(bus, "wr")
+        assert rd.reserve(0, 10) == 0
+        assert wr.reserve(0, 10) == 15
+        assert rd.name == "d[rd]"
+
+    def test_view_next_free(self):
+        bus = TaggedBusResource("d", switch_gap_ps=5)
+        rd = BusView(bus, "rd")
+        rd.reserve(0, 10)
+        assert rd.next_free(0) == 10
+        assert BusView(bus, "wr").next_free(0) == 15

@@ -1,0 +1,113 @@
+"""End-to-end System tests: small full-stack runs."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ddr2_baseline, fbdimm_amb_prefetch, fbdimm_baseline
+from repro.system import System, run_system
+
+
+def small(config, insts=5_000):
+    return dataclasses.replace(config, instructions_per_core=insts)
+
+
+class TestRunBasics:
+    def test_single_core_run_completes(self):
+        result = run_system(small(fbdimm_baseline(1)), ["swim"])
+        assert result.elapsed_ps > 0
+        assert result.core_instructions == [5_000]
+        assert result.mem.demand_reads > 0
+        assert 0 < result.core_ipcs[0] <= 1.0  # below swim's base IPC
+
+    def test_program_count_must_match_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            System(small(fbdimm_baseline(2)), ["swim"])
+
+    def test_system_runs_once(self):
+        system = System(small(fbdimm_baseline(1)), ["swim"])
+        system.run()
+        with pytest.raises(RuntimeError):
+            system.run()
+
+    def test_multicore_stops_at_first_finisher(self):
+        result = run_system(small(fbdimm_baseline(2)), ["wupwise", "swim"])
+        # wupwise (higher base IPC, fewer misses) finishes first.
+        assert max(result.core_instructions) == 5_000
+        assert min(result.core_instructions) < 5_000
+
+    def test_ipc_by_program(self):
+        result = run_system(small(fbdimm_baseline(2)), ["gap", "vortex"])
+        assert set(result.ipc_by_program) == {"gap", "vortex"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_system(small(fbdimm_amb_prefetch(1)), ["equake"])
+        b = run_system(small(fbdimm_amb_prefetch(1)), ["equake"])
+        assert a.elapsed_ps == b.elapsed_ps
+        assert a.core_ipcs == b.core_ipcs
+        assert a.mem.demand_reads == b.mem.demand_reads
+        assert a.mem.activates == b.mem.activates
+
+    def test_different_seed_differs(self):
+        cfg = small(fbdimm_baseline(1))
+        a = run_system(cfg, ["equake"])
+        b = run_system(dataclasses.replace(cfg, seed=999), ["equake"])
+        assert a.elapsed_ps != b.elapsed_ps
+
+
+class TestResultProperties:
+    def test_latency_in_sane_range(self):
+        result = run_system(small(fbdimm_baseline(1)), ["vpr"])
+        assert 63.0 <= result.avg_read_latency_ns < 300.0
+
+    def test_bandwidth_below_peak(self):
+        result = run_system(small(ddr2_baseline(1)), ["swim"])
+        assert 0 < result.utilized_bandwidth_gbs < result.config.memory.peak_bandwidth_gbs()
+
+    def test_coverage_zero_without_prefetch(self):
+        result = run_system(small(fbdimm_baseline(1)), ["swim"])
+        assert result.prefetch_coverage == 0.0
+
+    def test_coverage_bounded_with_prefetch(self):
+        result = run_system(small(fbdimm_amb_prefetch(1)), ["swim"])
+        k = result.config.memory.prefetch.region_cachelines
+        assert 0 < result.prefetch_coverage <= (k - 1) / k
+
+    def test_smt_speedup_against_reference(self):
+        single = run_system(small(ddr2_baseline(1)), ["gap"])
+        ref = {"gap": single.core_ipcs[0], "vortex": 1.0}
+        multi = run_system(small(ddr2_baseline(2)), ["gap", "vortex"])
+        speedup = multi.smt_speedup(ref)
+        assert speedup > 0
+
+    def test_dram_op_accounting_consistent(self):
+        result = run_system(small(fbdimm_baseline(1)), ["swim"])
+        m = result.mem
+        # Close page, no prefetch: one ACT and one column op per access.
+        assert m.activates == m.column_accesses
+        completed = m.total_reads + m.writes
+        in_flight_slack = 64  # transactions issued but unfinished at stop
+        assert completed <= m.column_accesses <= completed + in_flight_slack
+
+
+class TestPaperHeadlines:
+    """Cheap versions of the paper's headline claims (full versions live
+    in the benchmark harness)."""
+
+    def test_ap_beats_fbd_on_a_streamy_program(self):
+        fbd = run_system(small(fbdimm_baseline(1), 15_000), ["swim"])
+        ap = run_system(small(fbdimm_amb_prefetch(1), 15_000), ["swim"])
+        assert sum(ap.core_ipcs) > sum(fbd.core_ipcs)
+
+    def test_ap_cuts_activates(self):
+        fbd = run_system(small(fbdimm_baseline(1), 15_000), ["swim"])
+        ap = run_system(small(fbdimm_amb_prefetch(1), 15_000), ["swim"])
+        assert ap.mem.activates < fbd.mem.activates
+        assert ap.mem.column_accesses > fbd.mem.column_accesses
+
+    def test_ap_latency_lower(self):
+        fbd = run_system(small(fbdimm_baseline(1), 15_000), ["swim"])
+        ap = run_system(small(fbdimm_amb_prefetch(1), 15_000), ["swim"])
+        assert ap.avg_read_latency_ns < fbd.avg_read_latency_ns

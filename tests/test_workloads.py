@@ -1,0 +1,160 @@
+"""Workload tests: program profiles, trace generation, Table 3 mixes."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.multiprog import (
+    SINGLE_CORE,
+    WORKLOADS,
+    workload_programs,
+    workloads_by_cores,
+)
+from repro.workloads.spec import PROGRAMS, make_trace
+from repro.workloads.trace import TraceEvent, TraceKind, record, replay, validate
+
+
+def take(trace, n):
+    return list(itertools.islice(iter(trace), n))
+
+
+class TestProfiles:
+    def test_twelve_programs(self):
+        assert len(PROGRAMS) == 12
+        assert set(PROGRAMS) == set(SINGLE_CORE)
+
+    def test_art_and_mcf_excluded(self):
+        assert "art" not in PROGRAMS
+        assert "mcf" not in PROGRAMS
+
+    def test_all_profiles_validate(self):
+        for profile in PROGRAMS.values():
+            assert 0 < profile.base_ipc <= 8
+            assert profile.mpki > 0
+            assert 0 < profile.continue_probability < 1
+
+    def test_fp_streamers_have_longer_runs_than_int(self):
+        assert PROGRAMS["swim"].run_length > PROGRAMS["vpr"].run_length
+        assert PROGRAMS["mgrid"].run_length > PROGRAMS["parser"].run_length
+
+
+class TestTraceGeneration:
+    def test_deterministic_for_same_seed(self):
+        a = take(make_trace("swim", seed=1), 500)
+        b = take(make_trace("swim", seed=1), 500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = take(make_trace("swim", seed=1), 500)
+        b = take(make_trace("swim", seed=2), 500)
+        assert a != b
+
+    def test_strictly_increasing_instructions(self):
+        events = take(make_trace("equake", seed=3), 2000)
+        validate(events)  # raises on violation
+
+    def test_mpki_approximately_matches_profile(self):
+        profile = PROGRAMS["swim"]
+        events = take(make_trace("swim", seed=1, software_prefetch=False), 5000)
+        reads = [e for e in events if e.kind is TraceKind.READ]
+        span = events[-1].inst
+        mpki = len(reads) / span * 1000
+        # Reads are (1 - write_fraction) of events at the profile's rate.
+        expected = profile.mpki * (1 - profile.write_fraction)
+        assert mpki == pytest.approx(expected, rel=0.25)
+
+    def test_write_fraction_approximately_matches(self):
+        profile = PROGRAMS["swim"]
+        events = take(make_trace("swim", seed=1, software_prefetch=False), 5000)
+        writes = sum(1 for e in events if e.kind is TraceKind.WRITE)
+        assert writes / len(events) == pytest.approx(profile.write_fraction, rel=0.2)
+
+    def test_prefetch_precedes_its_demand(self):
+        events = take(make_trace("swim", seed=1, software_prefetch=True), 5000)
+        seen_prefetch = {}
+        for e in events:
+            if e.kind is TraceKind.PREFETCH:
+                seen_prefetch[e.line_addr] = e.inst
+            elif e.kind is TraceKind.READ and e.line_addr in seen_prefetch:
+                assert seen_prefetch[e.line_addr] < e.inst
+
+    def test_no_prefetch_events_when_disabled(self):
+        events = take(make_trace("swim", seed=1, software_prefetch=False), 3000)
+        assert all(e.kind is not TraceKind.PREFETCH for e in events)
+
+    def test_prefetch_rate_scales_with_coverage(self):
+        hi = take(make_trace("swim", seed=1), 4000)
+        lo = take(make_trace("parser", seed=1), 4000)
+        rate = lambda evs: sum(e.kind is TraceKind.PREFETCH for e in evs) / len(evs)
+        assert rate(hi) > rate(lo)
+
+    def test_core_address_spaces_disjoint(self):
+        a = take(make_trace("swim", seed=1, core_id=0), 1000)
+        b = take(make_trace("swim", seed=1, core_id=1), 1000)
+        lines_a = {e.line_addr for e in a}
+        lines_b = {e.line_addr for e in b}
+        assert not lines_a & lines_b
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError, match="unknown program"):
+            make_trace("mcf", seed=1)
+
+    def test_sequential_runs_present(self):
+        events = take(make_trace("swim", seed=1, software_prefetch=False), 3000)
+        reads = [e.line_addr for e in events if e.kind is TraceKind.READ]
+        sequential = sum(1 for a, b in zip(reads, reads[1:]) if b == a + 1)
+        assert sequential > 0
+
+    @given(st.sampled_from(sorted(PROGRAMS)), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_every_program_generates_valid_traces(self, program, seed):
+        events = take(make_trace(program, seed=seed), 300)
+        validate(events)
+        assert all(e.line_addr >= 0 for e in events)
+
+
+class TestTraceHelpers:
+    def test_record_and_replay(self):
+        events = record(make_trace("gap", seed=1), 100)
+        assert len(events) == 100
+        assert list(replay(events)) == events
+
+    def test_validate_rejects_disorder(self):
+        bad = [
+            TraceEvent(5, TraceKind.READ, 1),
+            TraceEvent(5, TraceKind.READ, 2),
+        ]
+        with pytest.raises(ValueError, match="trace order"):
+            validate(bad)
+
+
+class TestWorkloadTable:
+    def test_table3_counts(self):
+        assert len(WORKLOADS) == 15
+        assert len(workloads_by_cores(2)) == 6
+        assert len(workloads_by_cores(4)) == 6
+        assert len(workloads_by_cores(8)) == 3
+        assert len(workloads_by_cores(1)) == 12
+
+    def test_table3_contents_match_paper(self):
+        assert WORKLOADS["2C-1"] == ("wupwise", "swim")
+        assert WORKLOADS["4C-3"] == ("fma3d", "parser", "gap", "vortex")
+        assert WORKLOADS["8C-2"] == (
+            "wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex",
+        )
+
+    def test_programs_are_known(self):
+        for programs in WORKLOADS.values():
+            for program in programs:
+                assert program in PROGRAMS
+
+    def test_workload_programs_single(self):
+        assert workload_programs("swim") == ["swim"]
+
+    def test_workload_programs_multi(self):
+        assert workload_programs("2C-6") == ["gap", "vortex"]
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload_programs("16C-1")
