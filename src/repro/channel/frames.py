@@ -16,7 +16,7 @@ the channel controller can treat either uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Southbound frame capacity per Section 2.
 COMMANDS_PER_FRAME = 3
@@ -34,6 +34,14 @@ class SouthboundLink:
         #: frame index -> [command_count, carries_data]
         self._frames: Dict[int, List] = {}
         self.frames_used = 0
+        #: Optional booking journal for the protocol checker:
+        #: ("cmd"|"data", frame_start_ps).  None keeps the hot path lean.
+        self.journal: Optional[List[Tuple[str, int]]] = None
+
+    def enable_journal(self) -> None:
+        """Record every frame booking (protocol-checker support)."""
+        if self.journal is None:
+            self.journal = []
 
     # -- grid helpers -----------------------------------------------------
 
@@ -64,7 +72,10 @@ class SouthboundLink:
                 state[0] += 1
                 break
             index += 1
-        return self.frame_start(index)
+        start = self.frame_start(index)
+        if self.journal is not None:
+            self.journal.append(("cmd", start))
+        return start
 
     def reserve_write_data(self, earliest: int, frames_needed: int) -> Tuple[int, int]:
         """Stream write data over ``frames_needed`` data-capable frames.
@@ -90,6 +101,8 @@ class SouthboundLink:
                 continue
             if first_start is None:
                 first_start = self.frame_start(index)
+            if self.journal is not None:
+                self.journal.append(("data", self.frame_start(index)))
             placed += 1
             last_end = self.frame_start(index) + self.frame_ps
             index += 1
@@ -135,6 +148,14 @@ class NorthboundLink:
         self.phase_ps = phase_ps
         self._taken: Dict[int, bool] = {}
         self.frames_used = 0
+        #: Optional booking journal for the protocol checker:
+        #: ("line", first_frame_start_ps, frames).
+        self.journal: Optional[List[Tuple[str, int, int]]] = None
+
+    def enable_journal(self) -> None:
+        """Record every line booking (protocol-checker support)."""
+        if self.journal is None:
+            self.journal = []
 
     def _first_index_at(self, earliest: int) -> int:
         return max(0, -(-(earliest - self.phase_ps) // self.frame_ps))
@@ -156,6 +177,8 @@ class NorthboundLink:
                     self._taken[index + k] = True
                 self.frames_used += frames_needed
                 start = self.frame_start(index)
+                if self.journal is not None:
+                    self.journal.append(("line", start, frames_needed))
                 return start, start + frames_needed * self.frame_ps
             index += 1
 

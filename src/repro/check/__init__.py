@@ -1,0 +1,46 @@
+"""Static and dynamic correctness checks for the simulator.
+
+Three independent passes (see ``docs/CHECKING.md``):
+
+* :mod:`repro.check.protocol` — validates DDR2 command traces and FB-DIMM
+  frame journals against the Table 2 timing constraints;
+* :mod:`repro.check.determinism` — AST lint flagging nondeterminism
+  hazards in simulator code (wall clocks, unseeded ``random``, set
+  iteration, float arithmetic on picosecond times);
+* :mod:`repro.check.config_audit` — cross-field consistency checks on
+  :class:`~repro.config.SystemConfig` with actionable messages.
+
+Run offline with ``python -m repro.check trace.jsonl`` (plus ``--lint`` /
+``--audit-configs`` / ``--self-test``), or at runtime with
+``SystemConfig(check_protocol=True)``.
+"""
+
+from repro.check.config_audit import AuditIssue, audit_memory, audit_system
+from repro.check.determinism import LintFinding, lint_source, lint_tree
+from repro.check.protocol import (
+    ProtocolChecker,
+    ProtocolViolationError,
+    Violation,
+)
+from repro.check.trace import (
+    CheckEvent,
+    TraceParams,
+    load_events,
+    save_events,
+)
+
+__all__ = [
+    "AuditIssue",
+    "CheckEvent",
+    "LintFinding",
+    "ProtocolChecker",
+    "ProtocolViolationError",
+    "TraceParams",
+    "Violation",
+    "audit_memory",
+    "audit_system",
+    "lint_source",
+    "lint_tree",
+    "load_events",
+    "save_events",
+]

@@ -1,0 +1,229 @@
+"""Cross-field configuration audit.
+
+The config dataclasses validate their own fields in ``__post_init__``; this
+pass checks the *relationships between* fields that no single dataclass can
+see — Table 2 timing identities, prefetch degree vs. AMB cache capacity,
+DDR3 overrides vs. data rate, drain thresholds vs. buffer sizes — and
+reports each problem with a message that says what to change, not just
+what is wrong.
+
+Severities: ``error`` findings describe configurations whose results are
+meaningless (a row closed before its burst completes); ``warning`` findings
+describe legal-but-suspicious setups (DDR2 Table 2 timings at a DDR3 data
+rate) that usually indicate a half-applied override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.config import (
+    DramTimings,
+    InterleaveScheme,
+    MemoryConfig,
+    MemoryKind,
+    PagePolicy,
+    SystemConfig,
+)
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class AuditIssue:
+    """One audit finding."""
+
+    severity: str
+    field: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.severity}: {self.field}: {self.message}"
+
+
+def _burst_ns(memory: MemoryConfig) -> float:
+    """Data-bus occupancy of one cacheline burst, in nanoseconds."""
+    return memory.burst_clocks * memory.dram_clock_ps / 1000.0
+
+
+def audit_timings(memory: MemoryConfig) -> List[AuditIssue]:
+    """Table 2 identities that make a timing set self-consistent."""
+    issues: List[AuditIssue] = []
+    t = memory.timings
+    burst = _burst_ns(memory)
+
+    for name in ("tRP", "tRCD", "tCL", "tRC", "tRAS", "tWL"):
+        if getattr(t, name) <= 0:
+            issues.append(AuditIssue(
+                ERROR, f"timings.{name}",
+                f"must be positive, got {getattr(t, name)} ns",
+            ))
+    if t.tRC < t.tRAS + t.tRP:
+        issues.append(AuditIssue(
+            ERROR, "timings.tRC",
+            f"tRC ({t.tRC} ns) < tRAS + tRP ({t.tRAS} + {t.tRP} ns): the "
+            "ACT-to-ACT window is shorter than open-row time plus "
+            "precharge; raise tRC or lower tRAS/tRP",
+        ))
+    if t.tRAS < t.tRCD + burst:
+        issues.append(AuditIssue(
+            ERROR, "timings.tRAS",
+            f"tRAS ({t.tRAS} ns) < tRCD + burst ({t.tRCD} + {burst:.1f} ns): "
+            "the row would close before the first burst drains; raise tRAS",
+        ))
+    if t.tWPD < t.tWL + burst:
+        issues.append(AuditIssue(
+            ERROR, "timings.tWPD",
+            f"tWPD ({t.tWPD} ns) < tWL + burst ({t.tWL} + {burst:.1f} ns): "
+            "precharge would cut off the write burst; raise tWPD",
+        ))
+    if t.tRPD > t.tRAS:
+        issues.append(AuditIssue(
+            WARNING, "timings.tRPD",
+            f"tRPD ({t.tRPD} ns) > tRAS ({t.tRAS} ns) is unusual for DDR2 "
+            "and makes reads close rows later than the row-open minimum",
+        ))
+    return issues
+
+
+def audit_memory(memory: MemoryConfig) -> List[AuditIssue]:
+    """All memory-subsystem cross-field checks."""
+    issues = audit_timings(memory)
+    prefetch = memory.prefetch
+
+    # -- data-rate generation vs. timing preset ------------------------
+    if memory.data_rate_mts >= 1066 and memory.timings == DramTimings():
+        issues.append(AuditIssue(
+            WARNING, "data_rate_mts",
+            f"{memory.data_rate_mts} MT/s is a DDR3-class rate but the "
+            "timings are the DDR2 Table 2 defaults; pass "
+            "ddr3_memory_overrides() so both move together",
+        ))
+
+    # -- prefetch geometry ---------------------------------------------
+    if prefetch.enabled:
+        k = prefetch.region_cachelines
+        if k > prefetch.cache_entries:
+            issues.append(AuditIssue(
+                ERROR, "prefetch.region_cachelines",
+                f"region of {k} lines cannot fit the {prefetch.cache_entries}"
+                "-entry AMB cache: every group fetch would evict part of "
+                "itself; raise cache_entries or lower region_cachelines",
+            ))
+        elif prefetch.cache_entries < 2 * k:
+            issues.append(AuditIssue(
+                WARNING, "prefetch.cache_entries",
+                f"only {prefetch.cache_entries // k} region(s) fit the AMB "
+                "cache; two concurrent streams will thrash it",
+            ))
+        if prefetch.cache_entries % k:
+            issues.append(AuditIssue(
+                WARNING, "prefetch.cache_entries",
+                f"{prefetch.cache_entries} entries is not a whole number of "
+                f"{k}-line regions; FIFO replacement will evict partial "
+                "regions",
+            ))
+        if k > memory.lines_per_page:
+            issues.append(AuditIssue(
+                ERROR, "prefetch.region_cachelines",
+                f"a {k}-line region spans more than one {memory.page_bytes}-"
+                "byte DRAM row; a group fetch is one ACT plus pipelined "
+                "column accesses and cannot cross a row boundary",
+            ))
+        if memory.interleave is InterleaveScheme.CACHELINE:
+            issues.append(AuditIssue(
+                WARNING, "interleave",
+                "AMB prefetching with cacheline interleaving scatters each "
+                "region across channels, so group fetches degenerate to "
+                "single lines; use MULTI_CACHELINE (the fbdimm_amb_prefetch "
+                "factory does this automatically)",
+            ))
+
+    # -- page policy vs. interleave ------------------------------------
+    if (
+        memory.page_policy is PagePolicy.OPEN_PAGE
+        and memory.interleave is InterleaveScheme.CACHELINE
+    ):
+        issues.append(AuditIssue(
+            WARNING, "page_policy",
+            "open page with cacheline interleaving: consecutive lines map "
+            "to different banks, so the open row is almost never re-hit; "
+            "the paper pairs open page with page interleaving",
+        ))
+
+    # -- FB-DIMM frame geometry ----------------------------------------
+    if memory.kind is MemoryKind.FBDIMM:
+        if memory.cacheline_bytes % 32:
+            issues.append(AuditIssue(
+                ERROR, "cacheline_bytes",
+                f"{memory.cacheline_bytes} B is not a whole number of 32 B "
+                "northbound frames",
+            ))
+        if memory.cacheline_bytes % 16:
+            issues.append(AuditIssue(
+                ERROR, "cacheline_bytes",
+                f"{memory.cacheline_bytes} B is not a whole number of 16 B "
+                "southbound write-data payloads",
+            ))
+
+    # -- controller buffering ------------------------------------------
+    if memory.write_drain_threshold > memory.buffer_entries:
+        issues.append(AuditIssue(
+            WARNING, "write_drain_threshold",
+            f"threshold {memory.write_drain_threshold} exceeds the "
+            f"{memory.buffer_entries}-entry memory buffer, so the write "
+            "drain can never trigger and writes only issue when no read "
+            "is ready",
+        ))
+
+    # -- refresh --------------------------------------------------------
+    if memory.refresh_interval_ns > 0:
+        if memory.refresh_cycle_ns >= memory.refresh_interval_ns:
+            issues.append(AuditIssue(
+                ERROR, "refresh_cycle_ns",
+                f"tRFC ({memory.refresh_cycle_ns} ns) >= tREFI "
+                f"({memory.refresh_interval_ns} ns): banks would refresh "
+                "back-to-back and never serve requests",
+            ))
+        elif memory.refresh_cycle_ns / memory.refresh_interval_ns > 0.2:
+            issues.append(AuditIssue(
+                WARNING, "refresh_cycle_ns",
+                "refresh would consume more than 20% of every rank's time; "
+                "typical DDR2 is ~1.6% (127.5 ns / 7800 ns)",
+            ))
+    return issues
+
+
+def audit_system(config: SystemConfig) -> List[AuditIssue]:
+    """Audit a full system config (memory checks plus CPU/memory coupling)."""
+    issues = audit_memory(config.memory)
+    cpu = config.cpu
+
+    if cpu.data_mshr_entries * cpu.num_cores < cpu.l2_mshr_entries // 4:
+        issues.append(AuditIssue(
+            WARNING, "cpu.data_mshr_entries",
+            "per-core MSHRs are far below the shared L2's; the L2 MSHR "
+            "file cannot fill and memory-level parallelism is core-bound",
+        ))
+    if cpu.hw_prefetch_degree > 0 and config.software_prefetch:
+        issues.append(AuditIssue(
+            WARNING, "cpu.hw_prefetch_degree",
+            "hardware and software prefetching are both on; the paper "
+            "evaluates one at a time (Section 5.4), so coverage numbers "
+            "will not be comparable to any figure",
+        ))
+    if config.memory.buffer_entries < cpu.l2_mshr_entries // 2:
+        issues.append(AuditIssue(
+            WARNING, "memory.buffer_entries",
+            f"{config.memory.buffer_entries} buffer entries against "
+            f"{cpu.l2_mshr_entries} L2 MSHRs: admission backpressure will "
+            "dominate queueing before the channels saturate",
+        ))
+    return issues
+
+
+def errors_only(issues: List[AuditIssue]) -> List[AuditIssue]:
+    """Filter to the hard errors."""
+    return [issue for issue in issues if issue.severity == ERROR]

@@ -1,0 +1,207 @@
+"""Command-trace event model and JSONL persistence for the protocol checker.
+
+A check trace is a flat, time-sorted stream of :class:`CheckEvent` records —
+DRAM commands (ACT/RD/WR/PRE) located by channel/DIMM/rank/bank, plus
+FB-DIMM frame-slot records (southbound command and data frames, northbound
+line transfers).  The header line of a saved trace carries the
+:class:`TraceParams` the checker validates against, so a trace file is
+self-describing: ``python -m repro.check trace.jsonl`` needs nothing else.
+
+Format (one JSON object per line)::
+
+    {"version": 1, "params": {...}}
+    {"t": 15000, "c": "ACT", "ch": 0, "d": 0, "r": 0, "b": 2, "row": 17}
+    {"t": 45000, "c": "NB_LINE", "ch": 0, "n": 2}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.config import DRAM_CLOCK_PS, MemoryConfig, MemoryKind
+from repro.dram.timing import TimingPs
+from repro.engine.simulator import ns
+
+FORMAT_VERSION = 1
+
+#: DRAM command kinds (matching :class:`repro.dram.commands.CommandType`
+#: values) plus the FB-DIMM frame-slot kinds.
+DRAM_COMMANDS = ("ACT", "RD", "WR", "PRE")
+FRAME_EVENTS = ("SB_CMD", "SB_DATA", "NB_LINE")
+EVENT_KINDS = DRAM_COMMANDS + FRAME_EVENTS
+
+
+@dataclass(frozen=True)
+class CheckEvent:
+    """One trace record: a DRAM command or an FB-DIMM frame-slot booking.
+
+    Attributes:
+        time_ps: Command instant (DRAM commands) or frame start (frames).
+        kind: One of :data:`EVENT_KINDS`.
+        channel: Physical channel index.
+        dimm / rank / bank / row: DRAM command location (-1 where n/a).
+        frames: NB_LINE only — number of contiguous northbound frames.
+    """
+
+    time_ps: int
+    kind: str
+    channel: int = 0
+    dimm: int = -1
+    rank: int = -1
+    bank: int = -1
+    row: int = -1
+    frames: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown check-event kind {self.kind!r}")
+
+    @property
+    def is_dram_command(self) -> bool:
+        return self.kind in DRAM_COMMANDS
+
+    def location(self) -> str:
+        """Human-readable location for violation messages."""
+        if self.is_dram_command:
+            return (
+                f"ch{self.channel}.dimm{self.dimm}.rank{self.rank}"
+                f".bank{self.bank}"
+            )
+        return f"ch{self.channel}.{self.kind.lower()}"
+
+
+@dataclass(frozen=True)
+class TraceParams:
+    """Everything the protocol checker needs to judge a trace.
+
+    Attributes:
+        kind: ``"ddr2"`` or ``"fbdimm"`` — selects the bus/frame rules.
+        timing: The Table 2 constraints in picoseconds.
+        frame_ps: FB-DIMM frame period (two DRAM clocks).
+        nb_phase_ps: Northbound frame-grid phase offset.
+        switch_gap_ps: DDR2 data-bus turnaround/rank-switch bubble.
+        banks_per_dimm: Logic banks per rank (for location sanity checks).
+    """
+
+    kind: str
+    timing: TimingPs
+    frame_ps: int = 0
+    nb_phase_ps: int = 0
+    switch_gap_ps: int = 0
+    banks_per_dimm: int = 4
+
+    @classmethod
+    def from_memory_config(cls, config: MemoryConfig) -> "TraceParams":
+        """Derive checker parameters from a simulator memory config."""
+        timing = TimingPs.from_config(
+            config.timings, config.dram_clock_ps, config.burst_clocks
+        )
+        if config.kind is MemoryKind.FBDIMM:
+            return cls(
+                kind="fbdimm",
+                timing=timing,
+                frame_ps=config.frame_ps,
+                nb_phase_ps=ns(config.command_delay_ns) % config.frame_ps,
+                banks_per_dimm=config.banks_per_dimm,
+            )
+        return cls(
+            kind="ddr2",
+            timing=timing,
+            switch_gap_ps=round(config.ddr2_switch_gap_clocks * config.dram_clock_ps),
+            banks_per_dimm=config.banks_per_dimm,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["timing"] = asdict(self.timing)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceParams":
+        timing = TimingPs(**data["timing"])  # type: ignore[arg-type]
+        fields = {k: v for k, v in data.items() if k != "timing"}
+        return cls(timing=timing, **fields)  # type: ignore[arg-type]
+
+
+#: Default timing bundle for hand-written traces: Table 2 at 667 MT/s with
+#: the standard 4-clock cacheline burst.
+def default_params(kind: str = "fbdimm") -> TraceParams:
+    """Checker parameters for the paper's default 667 MT/s configuration."""
+    from repro.config import DramTimings
+
+    clock = DRAM_CLOCK_PS[667]
+    timing = TimingPs.from_config(DramTimings(), clock, 4)
+    if kind == "fbdimm":
+        return TraceParams(
+            kind=kind, timing=timing, frame_ps=2 * clock,
+            nb_phase_ps=ns(3.0) % (2 * clock),
+        )
+    if kind == "ddr2":
+        return TraceParams(
+            kind=kind, timing=timing, switch_gap_ps=round(1.5 * clock)
+        )
+    raise ValueError(f"unknown memory kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# JSONL persistence
+# ----------------------------------------------------------------------
+
+_FIELD_CODES = (
+    ("t", "time_ps"), ("c", "kind"), ("ch", "channel"), ("d", "dimm"),
+    ("r", "rank"), ("b", "bank"), ("row", "row"), ("n", "frames"),
+)
+_DEFAULTS = {f.name: f.default for f in CheckEvent.__dataclass_fields__.values()}
+
+
+def save_events(
+    path: Union[str, Path],
+    params: TraceParams,
+    events: Iterable[CheckEvent],
+) -> int:
+    """Write a self-describing check trace; returns events written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"version": FORMAT_VERSION, "params": params.to_dict()}
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            record = {}
+            for code, name in _FIELD_CODES:
+                value = getattr(event, name)
+                if name in ("time_ps", "kind") or value != _DEFAULTS[name]:
+                    record[code] = value
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_events(path: Union[str, Path]) -> Tuple[TraceParams, List[CheckEvent]]:
+    """Load a saved check trace: (params, time-sorted events)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported check-trace version "
+                f"{header.get('version')!r}"
+            )
+        params = TraceParams.from_dict(header["params"])
+        events: List[CheckEvent] = []
+        for line_no, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            kwargs = {}
+            for code, name in _FIELD_CODES:
+                if code in record:
+                    kwargs[name] = record[code]
+            try:
+                events.append(CheckEvent(**kwargs))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_no}: {exc}") from exc
+    events.sort(key=lambda e: e.time_ps)
+    return params, events

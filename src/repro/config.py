@@ -338,6 +338,11 @@ class SystemConfig:
     #: SimPoint-style.  0 measures from the beginning.
     warmup_instructions: int = 0
     seed: int = 12345
+    #: Opt-in runtime protocol assertion layer: journal every DRAM command
+    #: and FB-DIMM frame booking and run :mod:`repro.check` over the stream
+    #: when the run ends (System.run raises ProtocolViolationError on any
+    #: violation).  Off by default — journalling costs memory and time.
+    check_protocol: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.warmup_instructions < self.instructions_per_core:

@@ -172,6 +172,37 @@ class ChannelControllerBase:
         if self.read_q or self.write_q:
             self._request_kick(now)
 
+    # -- protocol-checker support ------------------------------------------
+
+    def _bank_check_events(self, dimm_id: int, banks) -> "list":
+        """Convert the banks' command logs into checker events."""
+        from repro.check.trace import CheckEvent
+
+        per_dimm = self.config.banks_per_dimm
+        events = []
+        for bank in banks:
+            if not bank.command_log:
+                continue
+            for rec in bank.command_log:
+                events.append(CheckEvent(
+                    time_ps=rec.time_ps,
+                    kind=rec.kind.value,
+                    channel=self.channel_id,
+                    dimm=dimm_id,
+                    rank=rec.bank_id // per_dimm,
+                    bank=rec.bank_id % per_dimm,
+                    row=rec.row,
+                ))
+        return events
+
+    def enable_protocol_trace(self) -> None:
+        """Start journalling DRAM commands (and frames) for the checker."""
+        raise NotImplementedError
+
+    def collect_check_events(self) -> "list":
+        """All journalled events so far, time-sorted."""
+        raise NotImplementedError
+
     # -- hooks implemented per channel kind --------------------------------
 
     def _prune(self, now: int) -> None:
@@ -235,6 +266,18 @@ class Ddr2ChannelController(ChannelControllerBase):
             result = dimm.read_line(self.sim.now, req.mapped)
         req.row_hit = result.row_hit
         self._finish_at(req, result.data_times[0])
+
+    def enable_protocol_trace(self) -> None:
+        for dimm in self.dimms:
+            for bank in dimm.banks:
+                bank.enable_trace()
+
+    def collect_check_events(self) -> "list":
+        events = []
+        for dimm in self.dimms:
+            events.extend(self._bank_check_events(dimm.dimm_id, dimm.banks))
+        events.sort(key=lambda e: e.time_ps)
+        return events
 
     def collect_device_counters(self) -> "dict":
         """Snapshot of DRAM-operation counts and bus occupancy."""
@@ -444,6 +487,35 @@ class FbdimmChannelController(ChannelControllerBase):
 
             self.sim.schedule_at(last_fill, commit)
         self._finish_at(req, demanded_finish)
+
+    def enable_protocol_trace(self) -> None:
+        for amb in self.ambs:
+            for bank in amb.banks:
+                bank.enable_trace()
+        self.links.south.enable_journal()
+        self.links.north.enable_journal()
+
+    def collect_check_events(self) -> "list":
+        from repro.check.trace import CheckEvent
+
+        events = []
+        for amb in self.ambs:
+            events.extend(self._bank_check_events(amb.dimm_id, amb.banks))
+        if self.links.south.journal is not None:
+            for kind, start in self.links.south.journal:
+                events.append(CheckEvent(
+                    time_ps=start,
+                    kind="SB_CMD" if kind == "cmd" else "SB_DATA",
+                    channel=self.channel_id,
+                ))
+        if self.links.north.journal is not None:
+            for _, start, frames in self.links.north.journal:
+                events.append(CheckEvent(
+                    time_ps=start, kind="NB_LINE",
+                    channel=self.channel_id, frames=frames,
+                ))
+        events.sort(key=lambda e: e.time_ps)
+        return events
 
     def collect_device_counters(self) -> "dict":
         """Snapshot of DRAM activity, AMB cache fills and link occupancy."""

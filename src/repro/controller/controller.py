@@ -10,7 +10,7 @@ feel when the memory system saturates.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Union
+from typing import Deque, List
 
 from repro.config import MemoryConfig, MemoryKind
 from repro.controller.channel_controller import (
@@ -28,9 +28,15 @@ from repro.stats.collector import MemSystemStats
 class MemoryController:
     """Front door of the memory subsystem."""
 
-    def __init__(self, sim: Simulator, config: MemoryConfig) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: MemoryConfig,
+        check_protocol: bool = False,
+    ) -> None:
         self.sim = sim
         self.config = config
+        self.check_protocol = check_protocol
         self.stats = MemSystemStats()
         self.mapper = AddressMapper(config)
         timing = TimingPs.from_config(
@@ -50,6 +56,9 @@ class MemoryController:
         self.capacity = config.buffer_entries
         self.active = 0
         self.backlog: Deque[MemoryRequest] = deque()
+        if check_protocol:
+            for channel in self.channels:
+                channel.enable_protocol_trace()
 
     # ------------------------------------------------------------------
 
@@ -111,6 +120,26 @@ class MemoryController:
                 totals[key] += counters[key]
             totals["busy"].update(counters["busy"])
         return totals
+
+    def collect_check_events(self) -> "list":
+        """All journalled protocol-checker events, time-sorted.
+
+        Only meaningful after construction with ``check_protocol=True``;
+        returns an empty list otherwise.
+        """
+        events: list = []
+        for channel in self.channels:
+            events.extend(channel.collect_check_events())
+        events.sort(key=lambda e: e.time_ps)
+        return events
+
+    def check_protocol_violations(self) -> "list":
+        """Run the protocol checker over the journalled command stream."""
+        from repro.check.protocol import ProtocolChecker
+        from repro.check.trace import TraceParams
+
+        params = TraceParams.from_memory_config(self.config)
+        return ProtocolChecker(params).check(self.collect_check_events())
 
     def mark_measurement_start(self) -> None:
         """Discard warm-up activity: measurement restarts from now.

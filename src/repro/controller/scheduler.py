@@ -13,7 +13,6 @@ way (FR-FCFS without the row-hit term).
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
 from repro.controller.transaction import MemoryRequest

@@ -20,7 +20,7 @@ compute-bound.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional
 
 from repro.config import CpuConfig

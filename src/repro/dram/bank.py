@@ -45,10 +45,18 @@ class RankTimer:
 
     tRRD separates ACTs to different banks; tWTR separates the end of write
     data from the next read command on the same rank.
+
+    ``pending_rd_cmds`` records the command instants of reads already
+    committed on this rank (transactions are issued atomically, so commands
+    can be committed ahead of simulated time).  A later write whose data
+    burst backfills an earlier bus hole must not land so that a committed
+    read command falls inside its wire-order tWTR window — that read was
+    gated on the writes known *when it issued*, not on this one.
     """
 
     next_act_ok: int = 0
     read_ok_after_write: int = 0
+    pending_rd_cmds: List[int] = field(default_factory=list)
 
     def act_gate(self, earliest: int) -> int:
         """Earliest time an ACT may issue respecting tRRD."""
@@ -61,6 +69,26 @@ class RankTimer:
     def note_write_data_end(self, end_time: int, tWTR: int) -> None:
         """Record the end of a write burst; reads must wait tWTR."""
         self.read_ok_after_write = max(self.read_ok_after_write, end_time + tWTR)
+
+    def note_read_cmd(self, cmd_time: int, now: int) -> None:
+        """Record a committed RD command instant.
+
+        Entries at or before ``now`` can never conflict with a future write
+        (writes always place their command at or after the current time),
+        so they are dropped here to keep the list at in-flight size.
+        """
+        if self.pending_rd_cmds and self.pending_rd_cmds[0] <= now:
+            self.pending_rd_cmds = [c for c in self.pending_rd_cmds if c > now]
+        self.pending_rd_cmds.append(cmd_time)
+        self.pending_rd_cmds.sort()
+
+    def read_in_window(self, wr_cmd: int, window_end: int) -> Optional[int]:
+        """Latest committed read command in ``[wr_cmd, window_end)``."""
+        hit: Optional[int] = None
+        for cmd in self.pending_rd_cmds:
+            if wr_cmd <= cmd < window_end:
+                hit = cmd
+        return hit
 
 
 @dataclass
@@ -158,6 +186,7 @@ class Bank:
             data_starts.append(start)
             data_times.append(start + t.burst)
             last_rd = start - t.tCL  # effective RD command instant
+            rank.note_read_cmd(last_rd, now)
             rd_floor = start + t.burst - t.tCL  # next RD gated by bus drain
         self.stats.reads += num_lines
         if row_hit:
@@ -188,6 +217,17 @@ class Bank:
         t = self.timing
         row_hit = self.is_row_hit(row)
         act_time, wr_floor = self._row_phase(now, row, rank, row_hit)
+        # Wire-order tWTR guard: if the candidate slot would put a
+        # committed read command inside this write's data-end + tWTR
+        # window, push the write past that read command and retry.
+        while True:
+            candidate = data_bus.probe(wr_floor + t.tWL, t.burst)
+            conflict = rank.read_in_window(
+                candidate - t.tWL, candidate + t.burst + t.tWTR
+            )
+            if conflict is None:
+                break
+            wr_floor = conflict + t.clock
         data_start = data_bus.reserve(wr_floor + t.tWL, t.burst)
         data_end = data_start + t.burst
         wr_time = data_start - t.tWL

@@ -46,6 +46,10 @@ class BusResource:
         """Earliest start a new zero-length probe would get (no booking)."""
         return self._find_gap(earliest, 1)
 
+    def probe(self, earliest: int, duration: int) -> int:
+        """Where ``reserve(earliest, duration)`` would land, without booking."""
+        return self._find_gap(earliest, duration)
+
     def prune_before(self, time_ps: int) -> None:
         """Drop reservations that ended at or before ``time_ps``.
 
@@ -110,6 +114,10 @@ class TaggedBusResource:
         """Earliest feasible start without booking."""
         return self._find_gap(earliest, 1, tag)
 
+    def probe(self, earliest: int, duration: int, tag: object = None) -> int:
+        """Where ``reserve`` would land, without booking."""
+        return self._find_gap(earliest, duration, tag)
+
     def prune_before(self, time_ps: int) -> None:
         """Drop reservations that ended at or before ``time_ps``.
 
@@ -168,3 +176,6 @@ class BusView:
 
     def next_free(self, earliest: int) -> int:
         return self.bus.next_free(earliest, self.tag)
+
+    def probe(self, earliest: int, duration: int) -> int:
+        return self.bus.probe(earliest, duration, self.tag)

@@ -3,13 +3,23 @@
 Events that are scheduled for the same picosecond fire in the order they were
 scheduled, which keeps runs bit-for-bit reproducible regardless of heap
 tie-breaking.
+
+Cancellation is O(1): a cancelled event is flagged and skipped when it
+surfaces, and the queue keeps a live-event counter so ``len()`` never scans
+the heap.  When cancelled events come to dominate the heap it is compacted
+in place, so a workload that cancels heavily (e.g. the channel controllers'
+wake events) cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional
+
+#: Compaction never triggers below this heap size; the rebuild is O(n) and
+#: pointless for small heaps.
+_COMPACT_MIN_HEAP = 64
 
 
 @dataclass(order=True)
@@ -27,43 +37,85 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Back-reference so cancel() can keep the queue's live counter exact;
+    #: detached (None) once the event has been popped.
+    _queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
 
 
 class EventQueue:
     """Min-heap of :class:`Event` ordered by (time, insertion order)."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Event] = []
         self._seq = 0
+        self._live = 0  # events neither fired nor cancelled
+        self._cancelled = 0  # cancelled events still occupying the heap
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled, not yet fired) events; O(1)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Total heap entries including cancelled ones (introspection)."""
+        return len(self._heap)
 
     def push(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute picosecond ``time``."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        event = Event(time=time, seq=self._seq, callback=callback)
+        event = Event(time=time, seq=self._seq, callback=callback, _queue=self)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or None when empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            event._queue = None  # a later cancel() must not touch counters
+            self._live -= 1
+            return event
         return None
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the earliest live event, or None."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
+
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for Event.cancel(); compacts when garbage dominates."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events (O(n), rare)."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

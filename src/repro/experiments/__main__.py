@@ -92,7 +92,7 @@ def main(argv=None) -> int:
     ctx = ExperimentContext(instructions=args.insts, seed=args.seed, quick=args.quick)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        start = time.time()
+        start = time.time()  # det: allow — progress reporting, not model time
         tables = EXPERIMENTS[name](ctx)
         for index, table in enumerate(tables):
             print(table.format())
@@ -103,7 +103,8 @@ def main(argv=None) -> int:
                 stem = name if len(tables) == 1 else f"{name}-{index}"
                 write_csv(table, export_dir / f"{stem}.csv")
                 write_markdown(table, export_dir / f"{stem}.md")
-        print(f"[{name}: {time.time() - start:.1f}s, {ctx.runs_executed} cached runs]\n")
+        elapsed = time.time() - start  # det: allow — progress reporting
+        print(f"[{name}: {elapsed:.1f}s, {ctx.runs_executed} cached runs]\n")
     return 0
 
 

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 
 from repro.config import (
     AmbPrefetchConfig,

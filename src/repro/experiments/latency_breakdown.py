@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.config import MemoryConfig, SystemConfig, ddr2_baseline, fbdimm_amb_prefetch, fbdimm_baseline
+from repro.config import (
+    MemoryConfig,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
 from repro.controller.controller import MemoryController
 from repro.controller.transaction import MemoryRequest, RequestKind
 from repro.engine.simulator import Simulator

@@ -146,8 +146,10 @@ class ExperimentContext:
     ) -> float:
         """Ratio of SMT speedups of two configs on one workload."""
         programs = self.programs_of(workload)
-        cfg_a = dataclasses.replace(config, cpu=dataclasses.replace(config.cpu, num_cores=len(programs)))
-        cfg_b = dataclasses.replace(baseline, cpu=dataclasses.replace(baseline.cpu, num_cores=len(programs)))
+        cpu_a = dataclasses.replace(config.cpu, num_cores=len(programs))
+        cpu_b = dataclasses.replace(baseline.cpu, num_cores=len(programs))
+        cfg_a = dataclasses.replace(config, cpu=cpu_a)
+        cfg_b = dataclasses.replace(baseline, cpu=cpu_b)
         a = self.smt_speedup(self.run(cfg_a, programs))
         b = self.smt_speedup(self.run(cfg_b, programs))
         return a / b

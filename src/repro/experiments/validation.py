@@ -15,7 +15,7 @@ memory substrate behaves like the hardware it models:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Optional
 
 from repro.config import SystemConfig, fbdimm_baseline
 from repro.experiments.runner import ExperimentContext, ResultTable

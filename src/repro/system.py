@@ -9,7 +9,7 @@ instruction count (the paper's stopping rule), and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
@@ -44,6 +44,10 @@ class SimulationResult:
     l2_prefetch_hits: int = 0
     events_fired: int = 0
     warmup_time_ps: int = 0  # measurement window start (0 = no warm-up)
+    #: Protocol-checker outcome: None when the run had check_protocol off,
+    #: [] when checked and clean (a non-empty list never escapes — System.run
+    #: raises ProtocolViolationError instead).
+    protocol_violations: Optional[list] = None
 
     @property
     def ipc_by_program(self) -> Dict[str, float]:
@@ -132,7 +136,9 @@ class System:
         self.config = config
         self.programs = labels
         self.sim = Simulator()
-        self.controller = MemoryController(self.sim, config.memory)
+        self.controller = MemoryController(
+            self.sim, config.memory, check_protocol=config.check_protocol
+        )
         self.l2 = L2FillTable(L2_CAPACITY_LINES)
         self.l2_mshr = Limiter(config.cpu.l2_mshr_entries, "l2.mshr")
         self._finished_core: Optional[Core] = None
@@ -180,6 +186,13 @@ class System:
         self.sim.run(max_events=MAX_EVENTS_PER_RUN)
         elapsed = max(self.sim.now, 1)
         mem_stats = self.controller.finalize()
+        violations = None
+        if self.config.check_protocol:
+            from repro.check.protocol import ProtocolViolationError
+
+            violations = self.controller.check_protocol_violations()
+            if violations:
+                raise ProtocolViolationError(violations)
         warm_insts = self._warmup_insts or [0] * len(self.cores)
         window = max(elapsed - self._warmup_time_ps, 1)
         cycle_ps = self.config.cpu.cycle_ps
@@ -198,6 +211,7 @@ class System:
             l2_prefetch_hits=self.l2.demand_hits,
             events_fired=self.sim.events_fired,
             warmup_time_ps=self._warmup_time_ps,
+            protocol_violations=violations,
         )
 
 

@@ -1,6 +1,5 @@
 """AMB tests: group fetch, pending fills, cache lookups, invalidation."""
 
-import pytest
 
 from repro.config import (
     AmbPrefetchConfig,

@@ -1,6 +1,5 @@
 """Bank state-machine tests: Table 2 constraints under both page policies."""
 
-import pytest
 
 from repro.config import DramTimings, PagePolicy
 from repro.dram.bank import Bank, RankTimer
@@ -152,3 +151,50 @@ class TestOpenPage:
         hit_est = bank.earliest_start(bank.column_ok, 5, rank)
         miss_est = bank.earliest_start(bank.column_ok, 9, rank)
         assert hit_est <= miss_est
+
+
+class TestWireOrderWriteGate:
+    """Writes must not backfill so that a committed read command falls
+    inside their wire-order tWTR window (WR cmd .. WR data end + tWTR)."""
+
+    def test_write_skips_past_committed_future_read(self):
+        bank, bus, rank = make_bank()
+        # A read on another bank of this rank already committed its command
+        # at a future instant, with its burst reserved on the shared bus.
+        rd_cmd = T.tRCD + T.tWL + T.clock  # inside the idle write's window
+        bus.reserve(rd_cmd + T.tCL, T.burst)
+        rank.note_read_cmd(rd_cmd, now=0)
+
+        result = bank.write(0, 5, data_bus=bus, rank=rank)
+        wr_cmd = result.data_starts[0] - T.tWL
+        # The write may not wrap the committed read in its tWTR window...
+        assert not (wr_cmd <= rd_cmd < result.data_starts[0] + T.burst + T.tWTR)
+        # ...which here forces it after the read command entirely.
+        assert wr_cmd > rd_cmd
+
+    def test_write_unaffected_without_pending_read(self):
+        bank, bus, rank = make_bank()
+        result = bank.write(0, 5, data_bus=bus, rank=rank)
+        assert result.data_starts == [T.tRCD + T.tWL]
+
+    def test_read_commits_its_command_instant(self):
+        bank, bus, rank = make_bank()
+        bank.read(0, row=5, num_lines=2, data_bus=bus, rank=rank)
+        # One committed instant per line, each tCL before its burst.
+        assert rank.pending_rd_cmds == [T.tRCD, T.tRCD + T.burst]
+
+    def test_note_read_cmd_prunes_stale_entries(self):
+        rank = RankTimer()
+        rank.note_read_cmd(100, now=0)
+        rank.note_read_cmd(50, now=0)
+        assert rank.pending_rd_cmds == [50, 100]
+        rank.note_read_cmd(300, now=200)  # both old entries are in the past
+        assert rank.pending_rd_cmds == [300]
+
+    def test_read_in_window_returns_latest_hit(self):
+        rank = RankTimer()
+        for cmd in (10, 20, 30):
+            rank.note_read_cmd(cmd, now=0)
+        assert rank.read_in_window(10, 25) == 20  # window is half-open
+        assert rank.read_in_window(31, 99) is None
+        assert rank.read_in_window(0, 100) == 30

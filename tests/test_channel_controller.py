@@ -5,13 +5,10 @@ where exact latencies are predictable from Table 2, including the paper's
 headline 63 ns / 33 ns idle-latency claim.
 """
 
-import pytest
 
 from repro.config import (
     AmbPrefetchConfig,
     MemoryConfig,
-    MemoryKind,
-    InterleaveScheme,
     ddr2_baseline,
     fbdimm_amb_prefetch,
     fbdimm_baseline,

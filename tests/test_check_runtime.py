@@ -1,0 +1,107 @@
+"""Runtime assertion layer: full runs under check_protocol=True stay clean."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.check.protocol import ProtocolViolationError
+from repro.check.trace import TraceParams
+from repro.config import (
+    InterleaveScheme,
+    PagePolicy,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.system import System
+from repro.workloads.spec import PROGRAMS
+
+PROGS = sorted(PROGRAMS)
+INSTS = 15_000
+
+
+def run_checked(config, programs):
+    return System(replace(config, check_protocol=True), programs).run()
+
+
+class TestZeroViolationRuns:
+    def test_ddr2_multicore(self):
+        result = run_checked(
+            replace(ddr2_baseline(num_cores=2), instructions_per_core=INSTS),
+            PROGS[:2],
+        )
+        assert result.protocol_violations == []
+
+    def test_fbdimm_baseline(self):
+        result = run_checked(
+            replace(fbdimm_baseline(), instructions_per_core=INSTS), PROGS[:1]
+        )
+        assert result.protocol_violations == []
+
+    def test_fbdimm_amb_prefetch(self):
+        result = run_checked(
+            replace(fbdimm_amb_prefetch(num_cores=2), instructions_per_core=INSTS),
+            PROGS[2:4],
+        )
+        assert result.protocol_violations == []
+
+    def test_ddr2_open_page(self):
+        config = replace(
+            ddr2_baseline(), instructions_per_core=INSTS
+        ).with_memory(
+            page_policy=PagePolicy.OPEN_PAGE, interleave=InterleaveScheme.PAGE
+        )
+        assert run_checked(config, PROGS[4:5]).protocol_violations == []
+
+    def test_off_by_default(self):
+        config = replace(fbdimm_baseline(), instructions_per_core=INSTS)
+        result = System(config, PROGS[:1]).run()
+        assert result.protocol_violations is None
+
+
+class TestRuntimePlumbing:
+    def test_events_collected_and_checkable_offline(self):
+        """The journalled stream is a valid offline trace for the CLI path."""
+        config = replace(
+            fbdimm_amb_prefetch(), instructions_per_core=INSTS, check_protocol=True
+        )
+        system = System(config, PROGS[:1])
+        system.run()
+        events = system.controller.collect_check_events()
+        assert events, "a real run must journal DRAM commands"
+        kinds = {e.kind for e in events}
+        assert {"ACT", "RD", "PRE"} <= kinds
+        assert "NB_LINE" in kinds and "SB_CMD" in kinds
+        params = TraceParams.from_memory_config(config.memory)
+        from repro.check.protocol import check_trace
+
+        assert check_trace(params, events) == []
+
+    def test_checker_disabled_keeps_banks_untraced(self):
+        config = replace(fbdimm_baseline(), instructions_per_core=INSTS)
+        system = System(config, PROGS[:1])
+        system.run()
+        channel = system.controller.channels[0]
+        assert all(b.command_log is None for amb in channel.ambs for b in amb.banks)
+        assert channel.links.north.journal is None
+
+    def test_violation_raises(self, monkeypatch):
+        """Any violation surfacing from the checker must abort the run.
+
+        The model and checker derive timing from the same config, so a real
+        divergence cannot be provoked from configuration alone; the raise
+        path is exercised by stubbing the check hook.
+        """
+        from repro.check.protocol import Violation
+        from repro.controller.controller import MemoryController
+
+        planted = [Violation(rule="tRCD", time_ps=0, message="planted")]
+        monkeypatch.setattr(
+            MemoryController, "check_protocol_violations", lambda self: planted
+        )
+        config = replace(
+            fbdimm_baseline(), instructions_per_core=INSTS, check_protocol=True
+        )
+        with pytest.raises(ProtocolViolationError) as exc_info:
+            System(config, PROGS[:1]).run()
+        assert exc_info.value.violations == planted

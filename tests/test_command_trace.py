@@ -1,6 +1,5 @@
 """DRAM command-trace tests: ordering and protocol legality."""
 
-import pytest
 
 from repro.config import DramTimings, PagePolicy
 from repro.dram.bank import Bank, RankTimer

@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import (
     DDR3_TIMINGS,
-    SystemConfig,
     ddr3_memory_overrides,
     fbdimm_amb_prefetch,
     fbdimm_baseline,

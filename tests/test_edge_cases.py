@@ -3,10 +3,8 @@
 import dataclasses
 from collections import deque
 
-import pytest
 
 from repro.config import (
-    AmbPrefetchConfig,
     DramTimings,
     MemoryConfig,
     MemoryKind,

@@ -77,3 +77,67 @@ class TestValidation:
     def test_negative_time_rejected(self):
         with pytest.raises(ValueError):
             EventQueue().push(-1, lambda: None)
+
+
+class TestLiveCounterAndCompaction:
+    def test_len_is_constant_time_counter(self):
+        q = EventQueue()
+        events = [q.push(i, lambda: None) for i in range(10)]
+        assert len(q) == 10
+        for event in events[:4]:
+            event.cancel()
+        assert len(q) == 6
+        q.pop()
+        assert len(q) == 5
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        event = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_counter(self):
+        q = EventQueue()
+        event = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        assert q.pop() is event
+        event.cancel()  # already fired; must be a no-op for the queue
+        assert len(q) == 1
+        assert q.pop().time == 2
+
+    def test_heavy_cancellation_compacts_heap(self):
+        q = EventQueue()
+        victims = [q.push(i, lambda: None) for i in range(200)]
+        keep = q.push(10_000, lambda: None)
+        assert q.heap_size == 201
+        for victim in victims:
+            victim.cancel()
+        # Compaction fires whenever garbage exceeds half the heap, so the
+        # heap shrinks far below the raw push count and ends under the
+        # 64-entry floor where compaction stops bothering.
+        assert q.heap_size < 64
+        assert len(q) == 1
+        assert q.pop() is keep
+
+    def test_small_heaps_never_compact(self):
+        q = EventQueue()
+        victims = [q.push(i, lambda: None) for i in range(10)]
+        for victim in victims:
+            victim.cancel()
+        assert q.heap_size == 10  # below the compaction floor
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_order_preserved_across_compaction(self):
+        q = EventQueue()
+        keepers = []
+        for i in range(300):
+            event = q.push(1000 - i, lambda: None)
+            if i % 3:
+                event.cancel()
+            else:
+                keepers.append(event.time)
+        popped = [e.time for e in drain(q)]
+        assert popped == sorted(keepers)

@@ -8,7 +8,6 @@ latency floors, DRAM-operation consistency, and determinism.
 
 import dataclasses
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import (

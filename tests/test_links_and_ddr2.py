@@ -1,6 +1,5 @@
 """FB-DIMM link and DDR2-channel component tests."""
 
-import pytest
 
 from repro.channel.ddr2_bus import Ddr2Dimm
 from repro.channel.fbdimm_link import FbdimmLinks

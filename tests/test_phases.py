@@ -9,7 +9,7 @@ from repro.config import fbdimm_amb_prefetch
 from repro.system import System
 from repro.workloads.phases import Phase, PhasedTrace, alternating, phase_boundaries
 from repro.workloads.spec import PROGRAMS, ProgramProfile
-from repro.workloads.trace import TraceKind, validate
+from repro.workloads.trace import validate
 
 STREAMY = PROGRAMS["swim"]
 IRREGULAR = PROGRAMS["vpr"]

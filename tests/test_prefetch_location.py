@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.config import (
     AmbPrefetchConfig,

@@ -1,6 +1,5 @@
 """Prefetch-information-table tests: lookup, replacement, associativity."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.config import AmbPrefetchConfig, Associativity, ReplacementPolicy
