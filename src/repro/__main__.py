@@ -65,17 +65,31 @@ def _build_config(args, system: str) -> SystemConfig:
     )
 
 
-def _run_one(args, system: str):
+def _run_one(args, system: str, tracer=None):
     programs = workload_programs(args.workload)
     config = _build_config(args, system)
-    machine = System(config, programs)
+    machine = System(config, programs, tracer=tracer)
     if args.latency:
         machine.controller.stats.enable_latency_capture()
     return machine, machine.run()
 
 
 def cmd_run(args) -> int:
-    _, result = _run_one(args, args.system)
+    tracer = None
+    if args.trace_out:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    machine, result = _run_one(args, args.system, tracer=tracer)
+    if tracer is not None:
+        from repro.telemetry import build_capture, save_capture
+
+        capture = build_capture(
+            result, tracer,
+            check_events=machine.controller.collect_check_events(),
+        )
+        records = save_capture(args.trace_out, capture)
+        print(f"[trace: {records} records -> {args.trace_out}]")
     print(run_report(result))
     if args.latency:
         dist = LatencyDistribution.from_stats(result.mem)
@@ -209,6 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="simulate one system")
     add_run_args(run_p)
     run_p.add_argument("--system", choices=SYSTEMS, default="fbd-ap")
+    run_p.add_argument("--trace-out", metavar="PATH",
+                       help="record a telemetry capture (see repro.trace)")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="DDR2 vs FBD vs FBD-AP")

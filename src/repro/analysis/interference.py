@@ -24,6 +24,7 @@ class CoreInterference:
     demand_reads: int
     avg_latency_ns: float
     relative_progress: Optional[float]  # IPC / solo IPC, if reference given
+    avg_queue_delay_ns: float = 0.0  # schedulable -> issue share of latency
 
 
 def per_core_breakdown(
@@ -35,8 +36,11 @@ def per_core_breakdown(
     for core_id, (program, ipc) in enumerate(
         zip(result.programs, result.core_ipcs)
     ):
-        reads, latency_sum = result.mem.per_core_reads.get(core_id, [0, 0])
+        entry = result.mem.per_core_reads.get(core_id, [0, 0, 0])
+        reads, latency_sum = entry[0], entry[1]
+        queue_sum = entry[2] if len(entry) > 2 else 0
         avg_latency = latency_sum / reads / 1000.0 if reads else 0.0
+        avg_queue = queue_sum / reads / 1000.0 if reads else 0.0
         relative = None
         if reference_ipcs and program in reference_ipcs:
             solo = reference_ipcs[program]
@@ -49,6 +53,7 @@ def per_core_breakdown(
                 demand_reads=reads,
                 avg_latency_ns=avg_latency,
                 relative_progress=relative,
+                avg_queue_delay_ns=avg_queue,
             )
         )
     return rows

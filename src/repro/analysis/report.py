@@ -36,17 +36,20 @@ def run_report(result: SimulationResult) -> str:
     lines.append("")
     lines.append(
         f"{'core':>4} {'program':<10} {'insts':>9} {'IPC':>7} "
-        f"{'reads':>7} {'avg lat':>9}"
+        f"{'reads':>7} {'avg lat':>9} {'queueing':>9}"
     )
     per_core = result.mem.per_core_reads
     for idx, (program, insts, ipc) in enumerate(
         zip(result.programs, result.core_instructions, result.core_ipcs)
     ):
-        reads, latency_sum = per_core.get(idx, [0, 0])
+        entry = per_core.get(idx, [0, 0, 0])
+        reads, latency_sum = entry[0], entry[1]
+        queue_sum = entry[2] if len(entry) > 2 else 0
         avg_lat = f"{latency_sum / reads / 1000:.1f}ns" if reads else "-"
+        avg_queue = f"{queue_sum / reads / 1000:.1f}ns" if reads else "-"
         lines.append(
             f"{idx:>4} {program:<10} {insts:>9} {ipc:>7.3f} "
-            f"{reads:>7} {avg_lat:>9}"
+            f"{reads:>7} {avg_lat:>9} {avg_queue:>9}"
         )
     lines.append("")
     mem = result.mem

@@ -157,6 +157,29 @@ _FIELD_CODES = (
 _DEFAULTS = {f.name: f.default for f in CheckEvent.__dataclass_fields__.values()}
 
 
+def event_to_record(event: CheckEvent) -> Dict[str, object]:
+    """Encode one event with the short JSONL field codes (defaults elided).
+
+    Shared by the check-trace files and the telemetry capture stream, so
+    both speak the same command-record dialect.
+    """
+    record: Dict[str, object] = {}
+    for code, name in _FIELD_CODES:
+        value = getattr(event, name)
+        if name in ("time_ps", "kind") or value != _DEFAULTS[name]:
+            record[code] = value
+    return record
+
+
+def record_to_event(record: Dict[str, object]) -> CheckEvent:
+    """Decode one short-field-code record back into a :class:`CheckEvent`."""
+    kwargs = {}
+    for code, name in _FIELD_CODES:
+        if code in record:
+            kwargs[name] = record[code]
+    return CheckEvent(**kwargs)  # type: ignore[arg-type]
+
+
 def save_events(
     path: Union[str, Path],
     params: TraceParams,
@@ -169,12 +192,7 @@ def save_events(
         header = {"version": FORMAT_VERSION, "params": params.to_dict()}
         handle.write(json.dumps(header) + "\n")
         for event in events:
-            record = {}
-            for code, name in _FIELD_CODES:
-                value = getattr(event, name)
-                if name in ("time_ps", "kind") or value != _DEFAULTS[name]:
-                    record[code] = value
-            handle.write(json.dumps(record) + "\n")
+            handle.write(json.dumps(event_to_record(event)) + "\n")
             count += 1
     return count
 
@@ -195,12 +213,8 @@ def load_events(path: Union[str, Path]) -> Tuple[TraceParams, List[CheckEvent]]:
             if not line.strip():
                 continue
             record = json.loads(line)
-            kwargs = {}
-            for code, name in _FIELD_CODES:
-                if code in record:
-                    kwargs[name] = record[code]
             try:
-                events.append(CheckEvent(**kwargs))
+                events.append(record_to_event(record))
             except (TypeError, ValueError) as exc:
                 raise ValueError(f"{path}:{line_no}: {exc}") from exc
     events.sort(key=lambda e: e.time_ps)

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Deque, Optional
+from typing import TYPE_CHECKING, Deque, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import Tracer
 
 from repro.channel.amb import Amb
 from repro.channel.ddr2_bus import Ddr2Dimm
@@ -63,6 +66,9 @@ class ChannelControllerBase:
         self.inflight_reads = 0
         self.inflight_writes = 0
         self._wake = None  # pending kick event, at most one outstanding
+        #: Optional request-lifecycle tracer (assigned by MemoryController);
+        #: every hook site is a no-op when this stays None.
+        self.tracer: "Optional[Tracer]" = None
 
     # -- queue interface -------------------------------------------------
 
@@ -118,6 +124,8 @@ class ChannelControllerBase:
                 self.read_q.remove(req)
                 self.inflight_reads += 1
             req.issue_time = now
+            if self.tracer is not None:
+                self.tracer.on_issue(req, now)
             self.stats.note_activity(now)
             self._issue(req)
 
@@ -168,6 +176,8 @@ class ChannelControllerBase:
                 line_bytes=self.config.cacheline_bytes,
                 core_id=req.core_id,
             )
+        if self.tracer is not None:
+            self.tracer.on_complete(req, now)
         req.complete(now)
         if self.read_q or self.write_q:
             self._request_kick(now)
@@ -265,6 +275,8 @@ class Ddr2ChannelController(ChannelControllerBase):
         else:
             result = dimm.read_line(self.sim.now, req.mapped)
         req.row_hit = result.row_hit
+        if self.tracer is not None:
+            self.tracer.on_data(req, result.data_starts[0])
         self._finish_at(req, result.data_times[0])
 
     def enable_protocol_trace(self) -> None:
@@ -409,6 +421,8 @@ class FbdimmChannelController(ChannelControllerBase):
         arrival = self.links.send_write(self.sim.now, req.mapped.dimm)
         result = amb.write_line(arrival, req.mapped)
         req.row_hit = result.row_hit
+        if self.tracer is not None:
+            self.tracer.on_data(req, result.data_starts[0])
         self._finish_at(req, result.data_times[0])
 
     def _issue_read_plain(self, req: MemoryRequest) -> None:
@@ -416,6 +430,8 @@ class FbdimmChannelController(ChannelControllerBase):
         arrival = self.links.send_command(self.sim.now)
         result = amb.read_line(arrival, req.mapped)
         req.row_hit = result.row_hit
+        if self.tracer is not None:
+            self.tracer.on_data(req, result.data_starts[0])
         ret = self.links.return_read(result.data_starts[0], req.mapped.dimm)
         self._finish_at(req, ret.critical_at_mc)
 
@@ -431,10 +447,14 @@ class FbdimmChannelController(ChannelControllerBase):
             # FBD-APFL charges the hit the tRCD + tCL a miss would pay; it
             # is not additive with an in-flight fill's completion time.
             ready = max(arrival + self.hit_extra_ps, available)
+            if self.tracer is not None:
+                self.tracer.on_data(req, ready)
             ret = self.links.return_read(ready, req.mapped.dimm)
             self._finish_at(req, ret.critical_at_mc)
             return
         group = amb.group_fetch(arrival, req.mapped, req.line_addr)
+        if self.tracer is not None:
+            self.tracer.on_data(req, group.demanded_start)
         ret = self.links.return_read(group.demanded_start, req.mapped.dimm)
         region = req.line_addr // self.prefetch.region_cachelines
         self.sim.schedule_at(
@@ -453,19 +473,26 @@ class FbdimmChannelController(ChannelControllerBase):
         region = req.line_addr // self.prefetch.region_cachelines
         if self.mc_table.lookup(req.line_addr):
             req.amb_hit = True
+            if self.tracer is not None:
+                self.tracer.on_data(req, self.sim.now)
             self._finish_at(req, self.sim.now)
             return
         pending = self.mc_pending.get(region)
         if pending is not None and req.line_addr in pending:
             self.mc_table.stats.hits += 1
             req.amb_hit = True
-            self._finish_at(req, max(self.sim.now, pending[req.line_addr]))
+            ready = max(self.sim.now, pending[req.line_addr])
+            if self.tracer is not None:
+                self.tracer.on_data(req, ready)
+            self._finish_at(req, ready)
             return
 
         amb = self._amb_for(req)
         arrival = self.links.send_command(self.sim.now)
         order = amb.group_order(req.line_addr)
         result = amb.group_read(arrival, req.mapped, order)
+        if self.tracer is not None:
+            self.tracer.on_data(req, result.data_starts[0])
         fills: "dict[int, int]" = {}
         demanded_finish = 0
         for line, start in zip(order, result.data_starts):

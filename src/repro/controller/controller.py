@@ -10,7 +10,7 @@ feel when the memory system saturates.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.config import MemoryConfig, MemoryKind
 from repro.controller.channel_controller import (
@@ -24,6 +24,9 @@ from repro.dram.timing import TimingPs
 from repro.engine.simulator import Simulator, ns
 from repro.stats.collector import MemSystemStats
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import Tracer
+
 
 class MemoryController:
     """Front door of the memory subsystem."""
@@ -33,10 +36,12 @@ class MemoryController:
         sim: Simulator,
         config: MemoryConfig,
         check_protocol: bool = False,
+        tracer: "Optional[Tracer]" = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.check_protocol = check_protocol
+        self.tracer = tracer
         self.stats = MemSystemStats()
         self.mapper = AddressMapper(config)
         timing = TimingPs.from_config(
@@ -56,7 +61,11 @@ class MemoryController:
         self.capacity = config.buffer_entries
         self.active = 0
         self.backlog: Deque[MemoryRequest] = deque()
-        if check_protocol:
+        for channel in self.channels:
+            channel.tracer = tracer
+        # The Chrome-trace exporter reuses the protocol-checker command
+        # journal for its per-bank spans, so tracing turns journalling on.
+        if check_protocol or tracer is not None:
             for channel in self.channels:
                 channel.enable_protocol_trace()
 
@@ -72,7 +81,10 @@ class MemoryController:
         req.mapped = self.mapper.map(req.line_addr)
         req.schedulable_at = req.arrival + self.overhead_ps
         self._chain_completion(req)
-        if self.active < self.capacity:
+        admitted = self.active < self.capacity
+        if self.tracer is not None:
+            self.tracer.on_arrival(req, self.sim.now, backlogged=not admitted)
+        if admitted:
             self._admit(req)
         else:
             self.backlog.append(req)
@@ -104,6 +116,8 @@ class MemoryController:
         channel = self.channels[req.mapped.channel]
         ready = max(req.schedulable_at, self.sim.now)
         req.schedulable_at = ready
+        if self.tracer is not None:
+            self.tracer.on_schedulable(req, ready)
         self.sim.schedule_at(ready, lambda: channel.submit(req))
 
     # ------------------------------------------------------------------

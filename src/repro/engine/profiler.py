@@ -1,0 +1,103 @@
+"""Event-loop profiler: events fired and wall-clock time per callback site.
+
+Attach before running::
+
+    sim.profiler = EventLoopProfiler()
+    sim.run()
+    print(sim.profiler.report())
+
+Attribution is by the callback's qualified name — bound methods show as
+``ChannelControllerBase._kick``, closures as
+``MemoryController._admit.<locals>.<lambda>`` — which is exactly the
+granularity needed to rank hot paths before optimising one.
+
+The profiler intentionally reads the host clock: wall time is the quantity
+being measured, not model time, so the run's *simulated* behaviour is
+bit-identical with or without it (the profiled loop fires the same events
+in the same order).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass
+class SiteProfile:
+    """Accumulated cost of one callback site."""
+
+    site: str
+    events: int = 0
+    wall_s: float = 0.0
+
+
+def callback_site(callback: Callable[[], None]) -> str:
+    """Stable attribution key for a scheduled callback."""
+    func: object = callback
+    # Unwrap bound methods so the class qualname is the site.
+    wrapped = getattr(func, "__func__", None)
+    if wrapped is not None:
+        func = wrapped
+    qualname = getattr(func, "__qualname__", None)
+    if qualname is None:
+        return repr(type(callback).__name__)
+    module = getattr(func, "__module__", "")
+    short_module = module.rsplit(".", 1)[-1] if module else ""
+    return f"{short_module}.{qualname}" if short_module else str(qualname)
+
+
+class EventLoopProfiler:
+    """Per-site event counts and wall-clock attribution for a run."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, SiteProfile] = {}
+        self.total_events = 0
+        self.total_wall_s = 0.0
+
+    def time_call(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback``, charging its cost to its site."""
+        start = time.perf_counter()  # det: allow — profiling wall time, not model time
+        callback()
+        elapsed = time.perf_counter() - start  # det: allow — profiling wall time
+        site = callback_site(callback)
+        entry = self.sites.get(site)
+        if entry is None:
+            entry = SiteProfile(site=site)
+            self.sites[site] = entry
+        entry.events += 1
+        entry.wall_s += elapsed
+        self.total_events += 1
+        self.total_wall_s += elapsed
+
+    def ranked(self) -> List[SiteProfile]:
+        """Sites ordered hottest-first (wall time, then events, then name)."""
+        return sorted(
+            self.sites.values(),
+            key=lambda s: (-s.wall_s, -s.events, s.site),
+        )
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """JSONL-ready records, hottest-first."""
+        return [
+            {"site": s.site, "events": s.events, "wall_s": s.wall_s}
+            for s in self.ranked()
+        ]
+
+    def report(self, limit: int = 15) -> str:
+        """Fixed-width ranking of the hottest callback sites."""
+        lines = [
+            f"event-loop profile: {self.total_events} events, "
+            f"{self.total_wall_s * 1000:.1f} ms wall",
+            f"{'site':<60} {'events':>9} {'wall ms':>9} {'%':>6}",
+        ]
+        for entry in self.ranked()[:limit]:
+            share = (
+                entry.wall_s / self.total_wall_s * 100 if self.total_wall_s else 0.0
+            )
+            lines.append(
+                f"{entry.site:<60} {entry.events:>9} "
+                f"{entry.wall_s * 1000:>9.1f} {share:>5.1f}%"
+            )
+        return "\n".join(lines)

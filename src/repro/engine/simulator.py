@@ -8,9 +8,12 @@ future work.  The loop runs until a stop condition is raised by a component
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.engine.event_queue import Event, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.profiler import EventLoopProfiler
 
 #: Picoseconds per nanosecond; all model parameters are given in ns and
 #: converted once at configuration time.
@@ -34,6 +37,9 @@ class Simulator:
         self.now = 0
         self._stopped = False
         self.events_fired = 0
+        #: Optional event-loop profiler; when set, :meth:`run` times every
+        #: callback by site.  Fires the exact same events either way.
+        self.profiler: Optional["EventLoopProfiler"] = None
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after ``delay`` picoseconds from now."""
@@ -58,6 +64,7 @@ class Simulator:
                 so an accidental livelock fails loudly instead of hanging.
         """
         self._stopped = False
+        profiler = self.profiler
         fired = 0
         while not self._stopped:
             next_time = self.queue.peek_time()
@@ -69,7 +76,10 @@ class Simulator:
             event = self.queue.pop()
             assert event is not None
             self.now = event.time
-            event.callback()
+            if profiler is not None:
+                profiler.time_call(event.callback)
+            else:
+                event.callback()
             self.events_fired += 1
             fired += 1
             if max_events is not None and fired >= max_events:

@@ -80,6 +80,10 @@ def main(argv=None) -> int:
                         help="subset of workloads per core-count group")
     parser.add_argument("--export", metavar="DIR",
                         help="also write each table as CSV and Markdown")
+    parser.add_argument("--trace-out", metavar="DIR",
+                        help="record a telemetry capture per fresh run")
+    parser.add_argument("--heartbeat", type=float, default=10.0, metavar="SEC",
+                        help="progress heartbeat period (0 = silent)")
     args = parser.parse_args(argv)
 
     export_dir = None
@@ -89,9 +93,15 @@ def main(argv=None) -> int:
         export_dir = Path(args.export)
         export_dir.mkdir(parents=True, exist_ok=True)
 
-    ctx = ExperimentContext(instructions=args.insts, seed=args.seed, quick=args.quick)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
+    heartbeat = _make_heartbeat(args.heartbeat, names)
+    ctx = ExperimentContext(
+        instructions=args.insts, seed=args.seed, quick=args.quick,
+        progress=heartbeat, trace_dir=args.trace_out or None,
+    )
+    invocation_start = time.time()  # det: allow — progress reporting
+    for position, name in enumerate(names):
+        heartbeat.begin(name)
         start = time.time()  # det: allow — progress reporting, not model time
         tables = EXPERIMENTS[name](ctx)
         for index, table in enumerate(tables):
@@ -104,8 +114,56 @@ def main(argv=None) -> int:
                 write_csv(table, export_dir / f"{stem}.csv")
                 write_markdown(table, export_dir / f"{stem}.md")
         elapsed = time.time() - start  # det: allow — progress reporting
-        print(f"[{name}: {elapsed:.1f}s, {ctx.runs_executed} cached runs]\n")
+        done = position + 1
+        remaining = len(names) - done
+        eta = ""
+        if remaining:
+            total = time.time() - invocation_start  # det: allow — progress
+            eta = f", ETA ~{total / done * remaining:.0f}s for {remaining} more"
+        print(f"[{name}: {elapsed:.1f}s, {ctx.runs_executed} cached runs{eta}]\n")
     return 0
+
+
+class _Heartbeat:
+    """Throttled progress reporter fed by ExperimentContext's callback."""
+
+    def __init__(self, period_s: float, names) -> None:
+        self.period_s = period_s
+        self.names = list(names)
+        self.experiment = ""
+        self.start = time.time()  # det: allow — progress reporting
+        self.last_print = self.start
+        self.runs_at_start = 0
+
+    def begin(self, name: str) -> None:
+        """A new experiment is starting; reset the per-experiment counters."""
+        self.experiment = name
+        self.last_print = time.time()  # det: allow — progress reporting
+
+    def __call__(self, progress) -> None:
+        if self.period_s <= 0:
+            return
+        now = time.time()  # det: allow — progress reporting
+        if now - self.last_print < self.period_s:
+            return
+        self.last_print = now
+        wall = max(now - self.start, 1e-9)
+        rate = progress.total_events / wall
+        position = (
+            self.names.index(self.experiment) + 1
+            if self.experiment in self.names else 0
+        )
+        print(
+            f"  [heartbeat {self.experiment} ({position}/{len(self.names)}): "
+            f"{progress.runs} runs, {progress.total_events / 1e6:.1f}M events, "
+            f"{rate / 1e3:.0f}k events/s; last run "
+            f"'{'+'.join(progress.programs)}' {progress.wall_s:.1f}s]",
+            flush=True,
+        )
+
+
+def _make_heartbeat(period_s: float, names) -> _Heartbeat:
+    return _Heartbeat(period_s, names)
 
 
 if __name__ == "__main__":

@@ -12,8 +12,10 @@ single-core DDR2 system (Section 5.2), computed lazily and cached.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import SystemConfig, ddr2_baseline
 from repro.system import SimulationResult, run_system
@@ -70,6 +72,17 @@ class ResultTable:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class RunProgress:
+    """What one completed simulation contributed, for heartbeat callbacks."""
+
+    runs: int  # distinct simulations so far (this one included)
+    total_events: int  # events fired across all of them
+    wall_s: float  # wall-clock seconds of this run
+    events: int  # events fired by this run
+    programs: Tuple[str, ...]
+
+
 class ExperimentContext:
     """Run cache plus shared experiment parameters.
 
@@ -81,14 +94,27 @@ class ExperimentContext:
         seed: Workload generation seed.
         quick: When true, each multi-core group is represented by a subset
             of its workloads (the benchmark harness uses this).
+        progress: Called with a :class:`RunProgress` after every fresh
+            (non-cached) simulation — the experiments CLI uses it for
+            heartbeats.  Must not mutate the context.
+        trace_dir: When set, every fresh run records a telemetry capture
+            into ``trace_dir/run-NNN-<programs>.jsonl``.
     """
 
     def __init__(
-        self, instructions: int = 40_000, seed: int = 12345, quick: bool = False
+        self,
+        instructions: int = 40_000,
+        seed: int = 12345,
+        quick: bool = False,
+        progress: Optional[Callable[[RunProgress], None]] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.instructions = instructions
         self.seed = seed
         self.quick = quick
+        self.progress = progress
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.total_events = 0
         self._cache: Dict[Tuple[SystemConfig, Tuple[str, ...]], SimulationResult] = {}
         self._reference: Optional[Dict[str, float]] = None
 
@@ -101,8 +127,49 @@ class ExperimentContext:
         )
         key = (config, tuple(programs))
         if key not in self._cache:
-            self._cache[key] = run_system(config, programs)
+            self._cache[key] = self._run_fresh(config, key[1])
         return self._cache[key]
+
+    def _run_fresh(
+        self, config: SystemConfig, programs: Tuple[str, ...]
+    ) -> SimulationResult:
+        start = time.perf_counter()  # det: allow — heartbeat wall time
+        if self.trace_dir is None:
+            result = run_system(config, programs)
+        else:
+            result = self._run_traced(config, programs)
+        wall = time.perf_counter() - start  # det: allow — heartbeat wall time
+        self.total_events += result.events_fired
+        if self.progress is not None:
+            self.progress(
+                RunProgress(
+                    runs=len(self._cache) + 1,
+                    total_events=self.total_events,
+                    wall_s=wall,
+                    events=result.events_fired,
+                    programs=programs,
+                )
+            )
+        return result
+
+    def _run_traced(
+        self, config: SystemConfig, programs: Tuple[str, ...]
+    ) -> SimulationResult:
+        from repro.system import System
+        from repro.telemetry import Tracer, build_capture, save_capture
+
+        assert self.trace_dir is not None
+        tracer = Tracer()
+        machine = System(config, programs, tracer=tracer)
+        result = machine.run()
+        capture = build_capture(
+            result, tracer,
+            check_events=machine.controller.collect_check_events(),
+        )
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"run-{len(self._cache):03d}-{'+'.join(programs)}"
+        save_capture(self.trace_dir / f"{stem}.jsonl", capture)
+        return result
 
     @property
     def runs_executed(self) -> int:

@@ -36,7 +36,8 @@ class MemSystemStats:
     #: Per-request latency capture for histogram analysis; None (off) by
     #: default because most sweeps only need the sums.
     demand_latency_samples: Optional[List[int]] = None
-    #: Per-core demand-read counters: core id -> [reads, latency_sum_ps].
+    #: Per-core demand-read counters:
+    #: core id -> [reads, latency_sum_ps, queue_delay_sum_ps].
     #: Shows which program of a mix suffers the queueing (interference).
     per_core_reads: Dict[int, List[int]] = field(default_factory=dict)
 
@@ -96,9 +97,10 @@ class MemSystemStats:
             if self.demand_latency_samples is not None:
                 self.demand_latency_samples.append(latency_ps)
             if core_id >= 0:
-                entry = self.per_core_reads.setdefault(core_id, [0, 0])
+                entry = self.per_core_reads.setdefault(core_id, [0, 0, 0])
                 entry[0] += 1
                 entry[1] += latency_ps
+                entry[2] += queue_delay_ps
         else:
             self.sw_prefetch_reads += 1
         self.read_latency_sum_ps += latency_ps

@@ -5,17 +5,24 @@ and channel utilisation over time; this module provides a light-weight
 periodic sampler that any run can attach.  Samples are plain dataclasses
 so the analysis package can aggregate them without touching simulator
 internals after the run.
+
+A sampler's lifetime is bounded three ways: it stops at ``max_samples``,
+at ``max_duration_ps`` past its attach point (when set), and immediately
+on :meth:`QueueSampler.detach` — the one already-scheduled tick then
+fires as a no-op instead of re-arming, so a detached sampler never keeps
+a finished run's event queue alive.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.engine.simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controller.controller import MemoryController
+    from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -39,18 +46,44 @@ class QueueSampler:
         sampler.attach(system.sim, system.controller)
         result = system.run()
         print(sampler.mean_queue_depth())
+
+    Args:
+        period_ps: Sampling period.
+        max_samples: Hard cap on recorded samples.
+        max_duration_ps: When set, sampling stops this long after attach
+            even if ``max_samples`` was never reached.
     """
 
     period_ps: int = 100_000  # 100 ns
     samples: List[Sample] = field(default_factory=list)
     max_samples: int = 100_000
+    max_duration_ps: Optional[int] = None
 
-    def attach(self, sim: Simulator, controller: "MemoryController") -> None:
-        """Begin sampling; stops itself at ``max_samples``."""
+    def __post_init__(self) -> None:
+        self._active = False
+        self._deadline_ps: Optional[int] = None
+
+    @property
+    def attached(self) -> bool:
+        """True while a future tick will record another sample."""
+        return self._active
+
+    def attach(self, sim: Simulator, controller: "MemoryController") -> "QueueSampler":
+        """Begin sampling; stops itself at its sample/duration bounds."""
         if self.period_ps <= 0:
             raise ValueError("sampling period must be positive")
+        if self._active:
+            raise RuntimeError("sampler is already attached")
+        self._active = True
+        if self.max_duration_ps is not None:
+            self._deadline_ps = sim.now + self.max_duration_ps
 
         def tick() -> None:
+            if not self._active:
+                return  # detached: the pending tick is a no-op
+            if self._deadline_ps is not None and sim.now > self._deadline_ps:
+                self._active = False
+                return
             queued = sum(ch.queue_len() for ch in controller.channels)
             reads = sum(ch.inflight_reads for ch in controller.channels)
             writes = sum(ch.inflight_writes for ch in controller.channels)
@@ -63,10 +96,17 @@ class QueueSampler:
                     backlog=len(controller.backlog),
                 )
             )
-            if len(self.samples) < self.max_samples:
-                sim.schedule(self.period_ps, tick)
+            if len(self.samples) >= self.max_samples:
+                self._active = False
+                return
+            sim.schedule(self.period_ps, tick)
 
         sim.schedule(self.period_ps, tick)
+        return self
+
+    def detach(self) -> None:
+        """Stop sampling now; already-recorded samples stay available."""
+        self._active = False
 
     # -- aggregates -----------------------------------------------------
 
@@ -94,3 +134,30 @@ class QueueSampler:
         if not self.samples:
             return 0.0
         return sum(1 for s in self.samples if s.backlog > 0) / len(self.samples)
+
+    # -- export ---------------------------------------------------------
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """JSONL-ready dicts, one per sample, for the telemetry capture."""
+        return [asdict(s) for s in self.samples]
+
+    def observe_into(self, registry: "MetricsRegistry") -> None:
+        """Fold the sample series into histograms on ``registry``.
+
+        Registers ``sample.queue_depth``, ``sample.inflight`` and
+        ``sample.backlog`` so queue-depth percentiles travel with the
+        rest of the metrics snapshot.
+        """
+        depth = registry.histogram(
+            "sample.queue_depth", "sampled channel-queue depth"
+        )
+        inflight = registry.histogram(
+            "sample.inflight", "sampled in-flight transactions"
+        )
+        backlog = registry.histogram(
+            "sample.backlog", "sampled admission-FIFO depth"
+        )
+        for sample in self.samples:
+            depth.observe(sample.queued_requests)
+            inflight.observe(sample.inflight_reads + sample.inflight_writes)
+            backlog.observe(sample.backlog)

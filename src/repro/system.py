@@ -10,9 +10,12 @@ instruction count (the paper's stopping rule), and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.spans import Tracer
 from repro.controller.controller import MemoryController
 from repro.cpu.core import Core, CoreStats
 from repro.cpu.l2 import L2FillTable
@@ -83,7 +86,12 @@ class System:
     via :meth:`from_traces` for synthetic/validation workloads.
     """
 
-    def __init__(self, config: SystemConfig, programs: Sequence[str]) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: Sequence[str],
+        tracer: "Optional[Tracer]" = None,
+    ) -> None:
         from repro.workloads.spec import PROGRAMS
 
         traces = [
@@ -98,7 +106,7 @@ class System:
             for core_id, program in enumerate(programs)
         ]
         base_ipcs = [PROGRAMS[p].base_ipc for p in programs]
-        self._build(config, list(programs), traces, base_ipcs)
+        self._build(config, list(programs), traces, base_ipcs, tracer)
 
     @classmethod
     def from_traces(
@@ -107,6 +115,7 @@ class System:
         traces: Sequence,
         base_ipcs: Sequence[float],
         labels: Optional[Sequence[str]] = None,
+        tracer: "Optional[Tracer]" = None,
     ) -> "System":
         """Build a system from explicit per-core trace iterators.
 
@@ -114,10 +123,11 @@ class System:
             traces: One TraceEvent iterator per core.
             base_ipcs: Each core's no-miss IPC.
             labels: Names for reporting (default ``custom-<i>``).
+            tracer: Optional request-lifecycle tracer (repro.telemetry).
         """
         system = cls.__new__(cls)
         labels = list(labels) if labels else [f"custom-{i}" for i in range(len(traces))]
-        system._build(config, labels, [iter(t) for t in traces], list(base_ipcs))
+        system._build(config, labels, [iter(t) for t in traces], list(base_ipcs), tracer)
         return system
 
     def _build(
@@ -126,6 +136,7 @@ class System:
         labels: List[str],
         traces: List,
         base_ipcs: List[float],
+        tracer: "Optional[Tracer]" = None,
     ) -> None:
         if len(labels) != config.cpu.num_cores:
             raise ValueError(
@@ -136,8 +147,11 @@ class System:
         self.config = config
         self.programs = labels
         self.sim = Simulator()
+        self.tracer = tracer
         self.controller = MemoryController(
-            self.sim, config.memory, check_protocol=config.check_protocol
+            self.sim, config.memory,
+            check_protocol=config.check_protocol,
+            tracer=tracer,
         )
         self.l2 = L2FillTable(L2_CAPACITY_LINES)
         self.l2_mshr = Limiter(config.cpu.l2_mshr_entries, "l2.mshr")
@@ -215,6 +229,10 @@ class System:
         )
 
 
-def run_system(config: SystemConfig, programs: Sequence[str]) -> SimulationResult:
+def run_system(
+    config: SystemConfig,
+    programs: Sequence[str],
+    tracer: "Optional[Tracer]" = None,
+) -> SimulationResult:
     """Build and run one system; the library's main entry point."""
-    return System(config, programs).run()
+    return System(config, programs, tracer=tracer).run()

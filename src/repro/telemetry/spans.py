@@ -1,0 +1,212 @@
+"""Request-lifecycle tracing: one timestamped span per memory request.
+
+A :class:`Tracer` is attached to a run (``System(config, programs,
+tracer=Tracer())`` or ``run_system(..., tracer=...)``).  The controller and
+channel engines call its hooks at each phase transition; every hook site is
+guarded by ``if tracer is not None`` so an untraced run executes exactly
+the seed instruction stream — tracing never schedules simulator events and
+never touches the statistics counters.
+
+Phases of one request (all times integer picoseconds):
+
+``arrival``      the CPU side handed the request to the controller
+``queued``       parked in the admission FIFO (64-entry buffer full)
+``schedulable``  admitted to a channel queue, eligible for scheduling
+``issue``        the scheduler picked it: first DRAM/AMB command
+``data``         first beat of its data burst (cut-through for AMB hits)
+``complete``     critical data back at the controller / write retired
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.controller.transaction import MemoryRequest
+
+#: Canonical phase order; ``queued`` is optional (only backlogged requests).
+PHASES = ("arrival", "queued", "schedulable", "issue", "data", "complete")
+
+
+@dataclass
+class RequestTrace:
+    """Timestamped phase transitions of one memory request."""
+
+    req_id: int
+    kind: str  # RequestKind value: "read" / "sw_prefetch" / "write"
+    core_id: int
+    line_addr: int
+    channel: int = -1
+    dimm: int = -1
+    rank: int = -1
+    bank: int = -1
+    amb_hit: bool = False
+    row_hit: bool = False
+    phases: List[Tuple[str, int]] = field(default_factory=list)
+
+    def mark(self, phase: str, time_ps: int) -> None:
+        """Record one phase transition."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown request phase {phase!r}")
+        self.phases.append((phase, time_ps))
+
+    def phase_time(self, phase: str) -> Optional[int]:
+        """Time of the first occurrence of ``phase``, or None."""
+        for name, time_ps in self.phases:
+            if name == phase:
+                return time_ps
+        return None
+
+    @property
+    def completed(self) -> bool:
+        return self.phase_time("complete") is not None
+
+    @property
+    def latency_ps(self) -> Optional[int]:
+        """arrival -> complete, when both phases were recorded."""
+        start = self.phase_time("arrival")
+        end = self.phase_time("complete")
+        if start is None or end is None:
+            return None
+        return end - start
+
+    @property
+    def queue_delay_ps(self) -> Optional[int]:
+        """schedulable -> issue (time lost waiting in a channel queue)."""
+        ready = self.phase_time("schedulable")
+        issue = self.phase_time("issue")
+        if ready is None or issue is None:
+            return None
+        return max(0, issue - ready)
+
+    # -- JSONL (de)serialisation ---------------------------------------
+
+    def to_record(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "type": "req",
+            "id": self.req_id,
+            "k": self.kind,
+            "core": self.core_id,
+            "line": self.line_addr,
+            "ph": [[name, t] for name, t in self.phases],
+        }
+        for key, value in (
+            ("ch", self.channel), ("d", self.dimm),
+            ("r", self.rank), ("b", self.bank),
+        ):
+            if value >= 0:
+                record[key] = value
+        if self.amb_hit:
+            record["amb"] = True
+        if self.row_hit:
+            record["row_hit"] = True
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "RequestTrace":
+        trace = cls(
+            req_id=int(record["id"]),  # type: ignore[arg-type]
+            kind=str(record["k"]),
+            core_id=int(record.get("core", -1)),  # type: ignore[arg-type]
+            line_addr=int(record.get("line", -1)),  # type: ignore[arg-type]
+            channel=int(record.get("ch", -1)),  # type: ignore[arg-type]
+            dimm=int(record.get("d", -1)),  # type: ignore[arg-type]
+            rank=int(record.get("r", -1)),  # type: ignore[arg-type]
+            bank=int(record.get("b", -1)),  # type: ignore[arg-type]
+            amb_hit=bool(record.get("amb", False)),
+            row_hit=bool(record.get("row_hit", False)),
+        )
+        for name, time_ps in record.get("ph", []):  # type: ignore[union-attr]
+            trace.mark(str(name), int(time_ps))
+        return trace
+
+
+class Tracer:
+    """Collects request traces and per-phase latency histograms.
+
+    Memory is bounded: once ``max_requests`` traces exist, further requests
+    are counted in ``dropped`` but not recorded (the histograms still see
+    every completion, so aggregate numbers stay exact).
+    """
+
+    def __init__(self, max_requests: int = 200_000) -> None:
+        self.max_requests = max_requests
+        self.requests: Dict[int, RequestTrace] = {}
+        self.dropped = 0
+        self.registry = MetricsRegistry()
+        self._h_latency = self.registry.histogram(
+            "trace.latency_ps", "arrival -> completion, traced reads+writes"
+        )
+        self._h_queue = self.registry.histogram(
+            "trace.queue_delay_ps", "schedulable -> issue, traced requests"
+        )
+        self._h_service = self.registry.histogram(
+            "trace.service_ps", "issue -> completion, traced requests"
+        )
+        self._c_stalled = self.registry.counter(
+            "trace.stalled_requests", "requests that waited past schedulable"
+        )
+
+    # -- hooks (called by the controller layer) -------------------------
+
+    def on_arrival(self, req: "MemoryRequest", now: int, backlogged: bool) -> None:
+        """Request entered the controller; mapped address is known."""
+        if len(self.requests) >= self.max_requests:
+            self.dropped += 1
+            return
+        trace = RequestTrace(
+            req_id=req.req_id,
+            kind=req.kind.value,
+            core_id=req.core_id,
+            line_addr=req.line_addr,
+        )
+        if req.mapped is not None:
+            trace.channel = req.mapped.channel
+            trace.dimm = req.mapped.dimm
+            trace.rank = req.mapped.rank
+            trace.bank = req.mapped.bank
+        trace.mark("arrival", now)
+        if backlogged:
+            trace.mark("queued", now)
+        self.requests[req.req_id] = trace
+
+    def on_schedulable(self, req: "MemoryRequest", time_ps: int) -> None:
+        trace = self.requests.get(req.req_id)
+        if trace is not None:
+            trace.mark("schedulable", time_ps)
+
+    def on_issue(self, req: "MemoryRequest", now: int) -> None:
+        trace = self.requests.get(req.req_id)
+        if trace is not None:
+            trace.mark("issue", now)
+
+    def on_data(self, req: "MemoryRequest", time_ps: int) -> None:
+        trace = self.requests.get(req.req_id)
+        if trace is not None:
+            trace.mark("data", time_ps)
+
+    def on_complete(self, req: "MemoryRequest", now: int) -> None:
+        self._h_latency.observe(max(0, now - req.arrival))
+        queue_delay = max(0, req.issue_time - req.schedulable_at)
+        self._h_queue.observe(queue_delay)
+        if queue_delay > 0:
+            self._c_stalled.inc()
+        if req.issue_time >= 0:
+            self._h_service.observe(max(0, now - req.issue_time))
+        trace = self.requests.get(req.req_id)
+        if trace is not None:
+            trace.mark("complete", now)
+            trace.amb_hit = req.amb_hit
+            trace.row_hit = req.row_hit
+
+    # -- results --------------------------------------------------------
+
+    def traces(self) -> List[RequestTrace]:
+        """All recorded traces, in arrival order."""
+        return list(self.requests.values())
+
+    def completed_traces(self) -> List[RequestTrace]:
+        return [t for t in self.requests.values() if t.completed]

@@ -134,3 +134,19 @@ class TestRunReport:
     def test_report_without_prefetch(self):
         result = small_run()
         assert "AMB prefetching: off" in run_report(result)
+
+    def test_report_per_core_queueing_column(self):
+        result = small_run(
+            config=fbdimm_baseline(2), programs=("swim", "mgrid")
+        )
+        text = run_report(result)
+        assert "queueing" in text
+        # Every core accumulated the third (queue-delay) counter.
+        for entry in result.mem.per_core_reads.values():
+            assert len(entry) == 3
+            assert entry[2] >= 0
+
+    def test_report_tolerates_legacy_two_field_entries(self):
+        result = small_run()
+        result.mem.per_core_reads[0] = [5, 315_000]  # pre-queue-delay shape
+        assert "63.0ns" in run_report(result)

@@ -1,0 +1,101 @@
+"""QueueSampler lifetime tests: detach, duration/sample bounds, export."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import fbdimm_baseline
+from repro.stats.sampling import QueueSampler, Sample
+from repro.system import System
+from repro.telemetry import MetricsRegistry
+
+
+def build_system(programs=("swim",), insts=8_000):
+    config = dataclasses.replace(
+        fbdimm_baseline(len(programs)), instructions_per_core=insts
+    )
+    return System(config, list(programs))
+
+
+class TestLifetime:
+    def test_detach_stops_sampling(self):
+        system = build_system()
+        sampler = QueueSampler(period_ps=50_000)
+        sampler.attach(system.sim, system.controller)
+        assert sampler.attached
+        sampler.detach()
+        assert not sampler.attached
+        system.run()
+        assert sampler.samples == []  # pending tick fired as a no-op
+
+    def test_max_samples_bounds_recording(self):
+        system = build_system()
+        sampler = QueueSampler(period_ps=10_000, max_samples=5)
+        sampler.attach(system.sim, system.controller)
+        system.run()
+        assert len(sampler.samples) == 5
+        assert not sampler.attached
+
+    def test_max_duration_bounds_recording(self):
+        system = build_system()
+        sampler = QueueSampler(period_ps=10_000, max_duration_ps=100_000)
+        sampler.attach(system.sim, system.controller)
+        result = system.run()
+        assert result.elapsed_ps > 100_000
+        assert sampler.samples
+        assert all(s.time_ps <= 110_000 for s in sampler.samples)
+        assert not sampler.attached
+
+    def test_double_attach_rejected(self):
+        system = build_system()
+        sampler = QueueSampler(period_ps=50_000)
+        sampler.attach(system.sim, system.controller)
+        with pytest.raises(RuntimeError):
+            sampler.attach(system.sim, system.controller)
+
+    def test_detach_then_reattach(self):
+        system = build_system()
+        sampler = QueueSampler(period_ps=50_000)
+        sampler.attach(system.sim, system.controller)
+        sampler.detach()
+        sampler.attach(system.sim, system.controller)
+        system.run()
+        assert sampler.samples
+
+
+class TestExportRouting:
+    def test_to_records_match_samples(self):
+        sampler = QueueSampler()
+        sampler.samples.append(Sample(
+            time_ps=10, queued_requests=3, inflight_reads=1,
+            inflight_writes=0, backlog=2,
+        ))
+        [record] = sampler.to_records()
+        assert record == {
+            "time_ps": 10, "queued_requests": 3, "inflight_reads": 1,
+            "inflight_writes": 0, "backlog": 2,
+        }
+
+    def test_observe_into_registry(self):
+        sampler = QueueSampler()
+        for depth in (0, 2, 8):
+            sampler.samples.append(Sample(
+                time_ps=depth, queued_requests=depth, inflight_reads=depth,
+                inflight_writes=1, backlog=0,
+            ))
+        registry = MetricsRegistry()
+        sampler.observe_into(registry)
+        snap = registry.snapshot()
+        assert snap["sample.queue_depth"]["count"] == 3
+        assert snap["sample.queue_depth"]["max"] == 8
+        assert snap["sample.inflight"]["sum"] == 13
+        assert snap["sample.backlog"]["max"] == 0
+
+    def test_real_run_records_flow_into_capture(self):
+        system = build_system()
+        sampler = QueueSampler(period_ps=50_000)
+        sampler.attach(system.sim, system.controller)
+        system.run()
+        records = sampler.to_records()
+        assert len(records) == len(sampler.samples)
+        assert all("queued_requests" in r for r in records)
