@@ -101,6 +101,17 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _compare_results(args):
+    """One result per system, fanned out across --jobs processes."""
+    if args.jobs > 1 and not args.latency:
+        from repro.experiments.parallel import execute_runs
+
+        programs = tuple(workload_programs(args.workload))
+        pairs = [(_build_config(args, system), programs) for system in SYSTEMS]
+        return execute_runs(pairs, jobs=args.jobs)
+    return [_run_one(args, system)[1] for system in SYSTEMS]
+
+
 def cmd_compare(args) -> int:
     print(f"workload {args.workload}, {args.insts} instructions/core\n")
     header = (
@@ -110,8 +121,7 @@ def cmd_compare(args) -> int:
     print(header)
     print("-" * len(header))
     baseline_ipc: Optional[float] = None
-    for system in SYSTEMS:
-        _, result = _run_one(args, system)
+    for system, result in zip(SYSTEMS, _compare_results(args)):
         total_ipc = sum(result.core_ipcs)
         if system == "ddr2":
             baseline_ipc = total_ipc
@@ -190,11 +200,37 @@ def cmd_sweep(args) -> int:
     sweep = Sweep(
         axes=axes, build=build, workload=args.workload, metric_name="sum_ipc"
     )
-    ctx = ExperimentContext(instructions=args.insts, seed=args.seed)
+    cache = None if args.no_cache else args.cache_dir
+    ctx = ExperimentContext(
+        instructions=args.insts, seed=args.seed, jobs=args.jobs, cache=cache
+    )
     table = sweep.run(ctx, metric=lambda r: sum(r.core_ipcs))
     print(table.format())
     print()
     print(bar_chart(table, "sum_ipc", label_columns=list(axes), width=40))
+    if ctx.cache is not None:
+        print(
+            f"\n[cache: {ctx.fresh_runs} simulated, "
+            f"{ctx.disk_hits} served from {ctx.cache.root}]"
+        )
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.experiments.runcache import RunCache
+
+    cache = RunCache(args.cache_dir)
+    if args.action == "stats":
+        summary = cache.summary()
+        print(f"cache root    {summary['root']}")
+        print(f"entries       {summary['entries']}")
+        print(f"size          {summary['bytes'] / 1e6:.2f} MB")
+        print(f"quarantined   {summary['quarantined']}")
+        print(f"code salt     {summary['salt']}")
+        print(f"format        v{summary['format']}")
+    else:  # purge
+        removed = cache.purge()
+        print(f"removed {removed} cache entries from {cache.root}")
     return 0
 
 
@@ -219,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="capture and print the latency distribution")
         p.add_argument("--utilisation", action="store_true",
                        help="print per-link busy fractions")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent runs")
 
     run_p = sub.add_parser("run", help="simulate one system")
     add_run_args(run_p)
@@ -242,7 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--workload", default="4C-1")
     sweep_p.add_argument("--insts", type=int, default=20_000)
     sweep_p.add_argument("--seed", type=int, default=12345)
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for independent sweep points")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent run cache")
+    sweep_p.add_argument("--cache-dir", default=".repro-cache",
+                         help="run-cache directory")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or purge the persistent run cache"
+    )
+    cache_p.add_argument("action", choices=("stats", "purge"))
+    cache_p.add_argument("--cache-dir", default=".repro-cache")
+    cache_p.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -366,6 +366,22 @@ class SystemConfig:
         """Return a copy with the CPU config fields replaced."""
         return replace(self, cpu=replace(self.cpu, **changes))
 
+    def to_dict(self) -> dict:
+        """JSON-compatible encoding (enums by name, nested dataclasses
+        as objects); the exact inverse of :meth:`from_dict`."""
+        from repro.serialize import encode_value
+
+        return encode_value(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SystemConfig":
+        """Rebuild a config from :meth:`to_dict` output.  Unknown keys are
+        ignored and missing keys take the field defaults, so configs written
+        by older code versions still load."""
+        from repro.serialize import decode_value
+
+        return decode_value(raw, cls)
+
 
 def ddr2_baseline(num_cores: int = 1, **memory_overrides) -> SystemConfig:
     """The paper's DDR2 reference system: cacheline interleave, close page."""

@@ -3,9 +3,15 @@
 Usage::
 
     python -m repro.experiments <experiment> [--insts N] [--seed S] [--quick]
-    python -m repro.experiments all --quick
+    python -m repro.experiments all --quick --jobs 4
 
 Experiments: latency, fig04 .. fig13, ablations.
+
+Each experiment first *plans* its full set of independent runs, which are
+fanned out across ``--jobs`` worker processes and served from / written to
+the persistent run cache (``.repro-cache/`` by default; ``--no-cache``
+disables it).  Results are bit-identical at any job count — see
+docs/PARALLEL.md.
 """
 
 from __future__ import annotations
@@ -66,6 +72,25 @@ EXPERIMENTS = {
     ],
 }
 
+#: Run enumeration per experiment, for the parallel/cached prefetch pass.
+PLANS = {
+    "latency": latency_breakdown.plan,
+    "fig04": fig04_smt_speedup.plan,
+    "fig05": fig05_bw_latency.plan,
+    "fig06": fig06_bandwidth_impact.plan,
+    "fig07": fig07_amb_speedup.plan,
+    "fig08": fig08_coverage.plan,
+    "fig09": fig09_decomposition.plan,
+    "fig10": fig10_bw_latency_ap.plan,
+    "fig11": fig11_sensitivity.plan,
+    "fig12": fig12_sw_prefetch.plan,
+    "fig13": fig13_power.plan,
+    "ablations": ablations.plan,
+    "location": prefetch_location.plan,
+    "hwprefetch": hw_prefetch.plan,
+    "validation": validation.plan,
+}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -84,6 +109,14 @@ def main(argv=None) -> int:
                         help="record a telemetry capture per fresh run")
     parser.add_argument("--heartbeat", type=float, default=10.0, metavar="SEC",
                         help="progress heartbeat period (0 = silent)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent runs")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent run cache entirely")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="run-cache directory (default .repro-cache)")
+    parser.add_argument("--cache-report", metavar="PATH",
+                        help="write cache/run statistics as JSON (CI artifact)")
     args = parser.parse_args(argv)
 
     export_dir = None
@@ -93,13 +126,28 @@ def main(argv=None) -> int:
         export_dir = Path(args.export)
         export_dir.mkdir(parents=True, exist_ok=True)
 
+    cache = None
+    if not args.no_cache:
+        from repro.experiments.runcache import DEFAULT_CACHE_DIR, RunCache
+
+        cache = RunCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     heartbeat = _make_heartbeat(args.heartbeat, names)
     ctx = ExperimentContext(
         instructions=args.insts, seed=args.seed, quick=args.quick,
         progress=heartbeat, trace_dir=args.trace_out or None,
+        jobs=args.jobs, cache=cache,
     )
     invocation_start = time.time()  # det: allow — progress reporting
+    pairs = [pair for name in names for pair in PLANS[name](ctx)]
+    if pairs:
+        heartbeat.begin("prefetch")
+        counts = ctx.prefetch(pairs)
+        print(
+            f"[prefetch: {counts['fresh']} simulated (--jobs {ctx.jobs}), "
+            f"{counts['disk']} served from cache]\n"
+        )
     for position, name in enumerate(names):
         heartbeat.begin(name)
         start = time.time()  # det: allow — progress reporting, not model time
@@ -120,7 +168,29 @@ def main(argv=None) -> int:
         if remaining:
             total = time.time() - invocation_start  # det: allow — progress
             eta = f", ETA ~{total / done * remaining:.0f}s for {remaining} more"
-        print(f"[{name}: {elapsed:.1f}s, {ctx.runs_executed} cached runs{eta}]\n")
+        print(f"[{name}: {elapsed:.1f}s, {ctx.runs_executed} fresh runs{eta}]\n")
+    served = ctx.disk_hits + ctx.fresh_runs
+    fraction = ctx.disk_hits / served if served else 0.0
+    if ctx.cache is not None:
+        summary = ctx.cache.summary()
+        print(
+            f"[cache: {ctx.fresh_runs} simulated, {ctx.disk_hits} from disk "
+            f"({fraction:.0%}), {summary['entries']} entries "
+            f"({summary['bytes'] / 1e6:.1f} MB) in {summary['root']}]"
+        )
+    if args.cache_report:
+        import json as _json
+        from pathlib import Path as _Path
+
+        report = {
+            "experiments": names,
+            "jobs": ctx.jobs,
+            "fresh_runs": ctx.fresh_runs,
+            "disk_hits": ctx.disk_hits,
+            "served_from_cache_fraction": fraction,
+            "cache": ctx.cache.summary() if ctx.cache is not None else None,
+        }
+        _Path(args.cache_report).write_text(_json.dumps(report, indent=2) + "\n")
     return 0
 
 

@@ -25,6 +25,37 @@ from repro.experiments.runner import ExperimentContext, ResultTable, mean
 CORE_COUNTS = (1, 4)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run the three ablations need, for prefetching as one batch."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            for vrl in (False, True):
+                pairs.append(
+                    (fbdimm_baseline(num_cores=cores, variable_read_latency=vrl),
+                     programs)
+                )
+                pairs.append(
+                    (fbdimm_amb_prefetch(num_cores=cores, variable_read_latency=vrl),
+                     programs)
+                )
+            pairs.append(
+                (fbdimm_amb_prefetch(
+                    num_cores=cores,
+                    interleave=InterleaveScheme.PAGE,
+                    page_policy=PagePolicy.OPEN_PAGE,
+                ), programs)
+            )
+            for policy in (ReplacementPolicy.FIFO, ReplacementPolicy.LRU):
+                prefetch = AmbPrefetchConfig(replacement=policy)
+                pairs.append(
+                    (fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch),
+                     programs)
+                )
+    return pairs
+
+
 def run_vrl(ctx: ExperimentContext) -> ResultTable:
     """AP improvement with and without Variable Read Latency."""
     table = ResultTable(

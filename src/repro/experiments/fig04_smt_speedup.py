@@ -13,6 +13,17 @@ from repro.experiments.runner import ExperimentContext, ResultTable, mean
 CORE_COUNTS = (1, 2, 4, 8)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 4 needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((ddr2_baseline(num_cores=cores), programs))
+            pairs.append((fbdimm_baseline(num_cores=cores), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """SMT speedup of every workload on both memory systems."""
     table = ResultTable(

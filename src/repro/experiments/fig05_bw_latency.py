@@ -13,6 +13,17 @@ from repro.experiments.fig04_smt_speedup import CORE_COUNTS
 from repro.experiments.runner import ExperimentContext, ResultTable, mean
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 5 needs (Figure 4's, minus the SMT references)."""
+    pairs = []
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((ddr2_baseline(num_cores=cores), programs))
+            pairs.append((fbdimm_baseline(num_cores=cores), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Per-workload (bandwidth, latency) points for both systems."""
     table = ResultTable(

@@ -17,6 +17,24 @@ LOGIC_CHANNELS = (1, 2, 4)
 CORE_COUNTS = (1, 4, 8)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 6 needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for factory in (ddr2_baseline, fbdimm_baseline):
+        for rate in DATA_RATES:
+            for channels in LOGIC_CHANNELS:
+                for cores in CORE_COUNTS:
+                    for workload in ctx.workloads_for(cores):
+                        programs = tuple(ctx.programs_of(workload))
+                        config = factory(
+                            num_cores=cores,
+                            data_rate_mts=rate,
+                            logic_channels=channels,
+                        )
+                        pairs.append((config, programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Average SMT speedup for each (rate, channels, system, cores) cell."""
     table = ResultTable(

@@ -15,6 +15,17 @@ from repro.experiments.runner import ExperimentContext, ResultTable, mean
 CORE_COUNTS = (1, 2, 4, 8)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 7 needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((fbdimm_baseline(num_cores=cores), programs))
+            pairs.append((fbdimm_amb_prefetch(num_cores=cores), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """FBD vs FBD-AP SMT speedups for every workload."""
     table = ResultTable(

@@ -32,6 +32,18 @@ VARIANTS: List[Tuple[str, AmbPrefetchConfig]] = [
 CORE_COUNTS = (1, 4)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 8 needs (coverage/efficiency need no references)."""
+    pairs = []
+    for _, prefetch in VARIANTS:
+        for cores in CORE_COUNTS:
+            for workload in ctx.workloads_for(cores):
+                programs = tuple(ctx.programs_of(workload))
+                config = fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch)
+                pairs.append((config, programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Average coverage/efficiency of each variant."""
     table = ResultTable(

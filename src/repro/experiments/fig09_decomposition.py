@@ -23,6 +23,20 @@ CORE_COUNTS = (1, 2, 4, 8)
 APFL = AmbPrefetchConfig(enabled=True, full_latency_hits=True)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 9 needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((fbdimm_baseline(num_cores=cores), programs))
+            pairs.append(
+                (fbdimm_amb_prefetch(num_cores=cores, prefetch=APFL), programs)
+            )
+            pairs.append((fbdimm_amb_prefetch(num_cores=cores), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Average SMT speedups of FBD / FBD-APFL / FBD-AP per core count."""
     table = ResultTable(

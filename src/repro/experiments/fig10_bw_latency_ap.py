@@ -12,6 +12,17 @@ from repro.experiments.fig07_amb_speedup import CORE_COUNTS
 from repro.experiments.runner import ExperimentContext, ResultTable
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 10 needs (Figure 7's, minus the SMT references)."""
+    pairs = []
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((fbdimm_baseline(num_cores=cores), programs))
+            pairs.append((fbdimm_amb_prefetch(num_cores=cores), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Per-workload (bandwidth, latency) pairs for FBD and FBD-AP."""
     table = ResultTable(

@@ -31,6 +31,19 @@ VARIANTS: List[Tuple[str, AmbPrefetchConfig]] = [
 CORE_COUNTS = (1, 2, 4, 8)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 11 needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((fbdimm_amb_prefetch(num_cores=cores), programs))
+            for _, prefetch in VARIANTS:
+                config = fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch)
+                pairs.append((config, programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Average speedup of each variant, normalised to the default config."""
     table = ResultTable(

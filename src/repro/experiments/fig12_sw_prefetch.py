@@ -28,6 +28,20 @@ def _with_sp(config: SystemConfig, enabled: bool) -> SystemConfig:
     return dataclasses.replace(config, software_prefetch=enabled)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 12 needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            base = fbdimm_baseline(num_cores=cores)
+            ap_cfg = fbdimm_amb_prefetch(num_cores=cores)
+            for config in (base, ap_cfg):
+                for enabled in (False, True):
+                    pairs.append((_with_sp(config, enabled), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Average relative SMT speedup of NONE/SP/AP/AP+SP per core count."""
     table = ResultTable(

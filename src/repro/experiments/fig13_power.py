@@ -26,6 +26,20 @@ VARIANTS: List[Tuple[str, AmbPrefetchConfig]] = [
 CORE_COUNTS = (1, 4, 8)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run Figure 13 needs (relative power needs no references)."""
+    pairs = []
+    for _, prefetch in VARIANTS:
+        for cores in CORE_COUNTS:
+            for workload in ctx.workloads_for(cores):
+                programs = tuple(ctx.programs_of(workload))
+                pairs.append((fbdimm_baseline(num_cores=cores), programs))
+                pairs.append(
+                    (fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch), programs)
+                )
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Relative dynamic power plus ACT/CAS count deltas per variant."""
     table = ResultTable(

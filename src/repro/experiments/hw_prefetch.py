@@ -24,6 +24,18 @@ def _with_hw(config: SystemConfig) -> SystemConfig:
     return config.with_cpu(hw_prefetch_degree=HW_DEGREE)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run this ablation needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            for factory in (fbdimm_baseline, fbdimm_amb_prefetch):
+                pairs.append((factory(num_cores=cores), programs))
+                pairs.append((_with_hw(factory(num_cores=cores)), programs))
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """AP improvement with SW prefetching vs with a HW stream prefetcher."""
     table = ResultTable(

@@ -53,6 +53,12 @@ def _idle_read_latency_ns(memory: MemoryConfig, line_addrs: List[int]) -> float:
     return finished[-1].latency / 1000.0
 
 
+def plan(ctx: Optional[ExperimentContext] = None) -> list:
+    """Nothing to prefetch: this experiment drives a bare controller with
+    single injected requests, not ``run_system`` sweeps."""
+    return []
+
+
 def run(ctx: Optional[ExperimentContext] = None) -> ResultTable:
     """Measure the idle read latencies of all three systems."""
     table = ResultTable(

@@ -1,0 +1,75 @@
+"""Process-pool fan-out for independent simulation runs.
+
+Every figure of the paper is a sweep of independent ``run_system`` calls;
+this module runs a batch of ``(SystemConfig, programs)`` pairs across a
+:class:`concurrent.futures.ProcessPoolExecutor`.  The simulator is fully
+deterministic given its config and seed, so a worker process produces a
+result bit-identical to the same run executed inline — parallelism changes
+wall-clock time and nothing else (pinned by tests/test_parallel.py).
+
+Results are returned in *submission order* regardless of completion order,
+so callers that zip them back onto their inputs stay deterministic.  The
+optional ``on_result`` callback fires in completion order and carries each
+worker's wall-clock seconds, which is what feeds the experiments CLI's
+events/sec + ETA heartbeats for runs that happened in another process.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import SystemConfig
+from repro.system import SimulationResult, run_system
+
+#: One unit of work: the exact arguments of a ``run_system`` call.
+RunPair = Tuple[SystemConfig, Tuple[str, ...]]
+
+#: Completion callback: (index into the input batch, result, worker wall s).
+ResultCallback = Callable[[int, SimulationResult, float], None]
+
+
+def simulate_one(pair: RunPair) -> Tuple[SimulationResult, float]:
+    """Worker entry point: run one pair, timing it for the heartbeats.
+
+    Module-level (not nested) so it pickles across the process boundary.
+    """
+    config, programs = pair
+    start = time.perf_counter()  # det: allow — heartbeat wall time
+    result = run_system(config, programs)
+    wall = time.perf_counter() - start  # det: allow — heartbeat wall time
+    return result, wall
+
+
+def execute_runs(
+    pairs: Sequence[RunPair],
+    jobs: int = 1,
+    on_result: Optional[ResultCallback] = None,
+) -> List[SimulationResult]:
+    """Run every pair, fanning out across ``jobs`` worker processes.
+
+    ``jobs <= 1`` (or a single pair) runs inline with no pool overhead;
+    either way the returned list aligns index-for-index with ``pairs``.
+    """
+    pairs = list(pairs)
+    results: List[Optional[SimulationResult]] = [None] * len(pairs)
+    if jobs <= 1 or len(pairs) <= 1:
+        for index, pair in enumerate(pairs):
+            result, wall = simulate_one(pair)
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result, wall)
+        return results  # type: ignore[return-value]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pairs))) as pool:
+        futures = {
+            pool.submit(simulate_one, pair): index
+            for index, pair in enumerate(pairs)
+        }
+        for future in as_completed(futures):
+            index = futures[future]
+            result, wall = future.result()
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result, wall)
+    return results  # type: ignore[return-value]

@@ -26,6 +26,21 @@ CORE_COUNTS = (1, 4, 8)
 MC_PREFETCH = AmbPrefetchConfig(location=PrefetchLocation.CONTROLLER)
 
 
+def plan(ctx: ExperimentContext) -> list:
+    """Every run this ablation needs, for :meth:`ExperimentContext.prefetch`."""
+    pairs = ctx.reference_plan()
+    for cores in CORE_COUNTS:
+        for workload in ctx.workloads_for(cores):
+            programs = tuple(ctx.programs_of(workload))
+            pairs.append((fbdimm_baseline(num_cores=cores), programs))
+            pairs.append((fbdimm_amb_prefetch(num_cores=cores), programs))
+            pairs.append(
+                (fbdimm_amb_prefetch(num_cores=cores, prefetch=MC_PREFETCH),
+                 programs)
+            )
+    return pairs
+
+
 def run(ctx: ExperimentContext) -> ResultTable:
     """Average speedup over plain FBD for both buffer placements."""
     table = ResultTable(

@@ -86,6 +86,12 @@ class RunProgress:
 class ExperimentContext:
     """Run cache plus shared experiment parameters.
 
+    The in-memory memo is a read-through layer over an optional persistent
+    :class:`~repro.experiments.runcache.RunCache`: a run is recalled from
+    memory first, then from disk, and only simulated when both miss (every
+    fresh result is written back to disk).  Independent runs can be fanned
+    out across worker processes with :meth:`prefetch`.
+
     Args:
         instructions: Per-core instruction budget of every run.  The paper
             uses 100 M-instruction SimPoints; the synthetic traces reach
@@ -98,7 +104,11 @@ class ExperimentContext:
             (non-cached) simulation — the experiments CLI uses it for
             heartbeats.  Must not mutate the context.
         trace_dir: When set, every fresh run records a telemetry capture
-            into ``trace_dir/run-NNN-<programs>.jsonl``.
+            into ``trace_dir/run-NNN-<programs>.jsonl``.  Tracing hooks
+            live in-process, so a tracing context always runs serially.
+        jobs: Worker processes for :meth:`prefetch` (1 = inline).
+        cache: Persistent run cache — a ``RunCache``, a directory path to
+            create one at, or None (default) for no disk cache.
     """
 
     def __init__(
@@ -108,13 +118,23 @@ class ExperimentContext:
         quick: bool = False,
         progress: Optional[Callable[[RunProgress], None]] = None,
         trace_dir: Optional[Union[str, Path]] = None,
+        jobs: int = 1,
+        cache: Optional[Union[str, Path, "RunCache"]] = None,
     ) -> None:
         self.instructions = instructions
         self.seed = seed
         self.quick = quick
         self.progress = progress
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.jobs = max(1, int(jobs))
+        if isinstance(cache, (str, Path)):
+            from repro.experiments.runcache import RunCache
+
+            cache = RunCache(cache)
+        self.cache = cache
         self.total_events = 0
+        self.fresh_runs = 0  # simulations actually executed
+        self.disk_hits = 0  # runs recalled from the persistent cache
         self._cache: Dict[Tuple[SystemConfig, Tuple[str, ...]], SimulationResult] = {}
         self._reference: Optional[Dict[str, float]] = None
 
@@ -122,13 +142,66 @@ class ExperimentContext:
 
     def run(self, config: SystemConfig, programs: Sequence[str]) -> SimulationResult:
         """Run (or recall) one simulation with the context's budget/seed."""
-        config = dataclasses.replace(
-            config, instructions_per_core=self.instructions, seed=self.seed
-        )
+        config = self._normalize(config)
         key = (config, tuple(programs))
         if key not in self._cache:
-            self._cache[key] = self._run_fresh(config, key[1])
+            result = self._load_from_disk(config, key[1])
+            if result is None:
+                result = self._run_fresh(config, key[1])
+            self._cache[key] = result
         return self._cache[key]
+
+    def prefetch(self, pairs: Sequence[Tuple[SystemConfig, Sequence[str]]]) -> Dict[str, int]:
+        """Warm the memo for a batch of runs, fanning misses out in parallel.
+
+        Every figure module exposes ``plan(ctx)`` returning the pairs its
+        ``run(ctx)`` will request; prefetching that plan first lets the
+        figure's own (serial, order-dependent) arithmetic be served entirely
+        from the memo.  Returns how each pair was satisfied:
+        ``{"memo": .., "disk": .., "fresh": ..}``.
+        """
+        missing: List[Tuple[SystemConfig, Tuple[str, ...]]] = []
+        queued = set()
+        counts = {"memo": 0, "disk": 0, "fresh": 0}
+        for config, programs in pairs:
+            config = self._normalize(config)
+            key = (config, tuple(programs))
+            if key in self._cache:
+                counts["memo"] += 1
+                continue
+            if key in queued:
+                continue
+            result = self._load_from_disk(config, key[1])
+            if result is not None:
+                self._cache[key] = result
+                counts["disk"] += 1
+                continue
+            queued.add(key)
+            missing.append((config, key[1]))
+        counts["fresh"] = len(missing)
+        if not missing:
+            return counts
+        if self.jobs <= 1 or len(missing) == 1 or self.trace_dir is not None:
+            for config, programs in missing:
+                self._cache[(config, programs)] = self._run_fresh(config, programs)
+            return counts
+
+        from repro.experiments.parallel import execute_runs
+
+        def on_result(index: int, result: SimulationResult, wall: float) -> None:
+            config, programs = missing[index]
+            self._store_to_disk(config, programs, result)
+            self._note_fresh(result, wall, programs)
+
+        results = execute_runs(missing, jobs=self.jobs, on_result=on_result)
+        for pair, result in zip(missing, results):
+            self._cache[pair] = result
+        return counts
+
+    def _normalize(self, config: SystemConfig) -> SystemConfig:
+        return dataclasses.replace(
+            config, instructions_per_core=self.instructions, seed=self.seed
+        )
 
     def _run_fresh(
         self, config: SystemConfig, programs: Tuple[str, ...]
@@ -139,18 +212,48 @@ class ExperimentContext:
         else:
             result = self._run_traced(config, programs)
         wall = time.perf_counter() - start  # det: allow — heartbeat wall time
+        self._store_to_disk(config, programs, result)
+        self._note_fresh(result, wall, programs)
+        return result
+
+    def _note_fresh(
+        self, result: SimulationResult, wall: float, programs: Tuple[str, ...]
+    ) -> None:
+        """Book-keeping shared by inline and worker-process completions."""
+        self.fresh_runs += 1
         self.total_events += result.events_fired
         if self.progress is not None:
             self.progress(
                 RunProgress(
-                    runs=len(self._cache) + 1,
+                    runs=self.fresh_runs,
                     total_events=self.total_events,
                     wall_s=wall,
                     events=result.events_fired,
                     programs=programs,
                 )
             )
+
+    def _load_from_disk(
+        self, config: SystemConfig, programs: Tuple[str, ...]
+    ) -> Optional[SimulationResult]:
+        if self.cache is None:
+            return None
+        from repro.experiments.runcache import run_key
+
+        result = self.cache.load(run_key(config, programs))
+        if result is not None:
+            self.disk_hits += 1
         return result
+
+    def _store_to_disk(
+        self, config: SystemConfig, programs: Tuple[str, ...],
+        result: SimulationResult,
+    ) -> None:
+        if self.cache is None:
+            return
+        from repro.experiments.runcache import run_key
+
+        self.cache.store(run_key(config, programs), result)
 
     def _run_traced(
         self, config: SystemConfig, programs: Tuple[str, ...]
@@ -167,14 +270,14 @@ class ExperimentContext:
             check_events=machine.controller.collect_check_events(),
         )
         self.trace_dir.mkdir(parents=True, exist_ok=True)
-        stem = f"run-{len(self._cache):03d}-{'+'.join(programs)}"
+        stem = f"run-{self.fresh_runs:03d}-{'+'.join(programs)}"
         save_capture(self.trace_dir / f"{stem}.jsonl", capture)
         return result
 
     @property
     def runs_executed(self) -> int:
-        """Distinct simulations performed so far."""
-        return len(self._cache)
+        """Simulations actually executed (cache hits excluded)."""
+        return self.fresh_runs
 
     # ------------------------------------------------------------------
 
@@ -192,6 +295,14 @@ class ExperimentContext:
         return workload_programs(workload)
 
     # ------------------------------------------------------------------
+
+    def reference_plan(self) -> List[Tuple[SystemConfig, Tuple[str, ...]]]:
+        """The runs behind :meth:`reference_ipcs`, for :meth:`prefetch`.
+
+        Any figure plan whose ``run`` computes SMT speedups should include
+        these, since the first speedup triggers all twelve reference runs.
+        """
+        return [(ddr2_baseline(num_cores=1), (p,)) for p in SINGLE_CORE]
 
     def reference_ipcs(self) -> Dict[str, float]:
         """Per-program IPC on the single-core DDR2 system (the SMT-speedup

@@ -53,19 +53,9 @@ class Sweep:
             return self.workload(**usable)
         return str(self.workload)
 
-    def run(
-        self,
-        ctx: ExperimentContext,
-        metric: Callable[[SimulationResult], float],
-    ) -> ResultTable:
-        """Execute every point; one table row per point."""
-        if not self.axes:
-            raise ValueError("sweep needs at least one axis")
+    def _points(self):
+        """(point, workload, programs, config) for every cell, in axis order."""
         names: List[str] = list(self.axes)
-        table = ResultTable(
-            title=f"Sweep over {', '.join(names)}",
-            columns=names + ["workload", self.metric_name],
-        )
         for combo in itertools.product(*(self.axes[n] for n in names)):
             point = dict(zip(names, combo))
             workload = self._workload_for(point)
@@ -73,6 +63,37 @@ class Sweep:
             config = self.build(**point)
             if config.cpu.num_cores != len(programs):
                 config = config.with_cpu(num_cores=len(programs))
+            yield point, workload, programs, config
+
+    def plan(self, ctx: ExperimentContext) -> list:
+        """Every run the sweep needs, for :meth:`ExperimentContext.prefetch`."""
+        if not self.axes:
+            raise ValueError("sweep needs at least one axis")
+        return [
+            (config, tuple(programs))
+            for _, _, programs, config in self._points()
+        ]
+
+    def run(
+        self,
+        ctx: ExperimentContext,
+        metric: Callable[[SimulationResult], float],
+    ) -> ResultTable:
+        """Execute every point; one table row per point.
+
+        Independent points are first fanned out across the context's
+        worker processes (``ctx.jobs``); the collection loop below is then
+        served entirely from the context's memo.
+        """
+        if not self.axes:
+            raise ValueError("sweep needs at least one axis")
+        ctx.prefetch(self.plan(ctx))
+        names: List[str] = list(self.axes)
+        table = ResultTable(
+            title=f"Sweep over {', '.join(names)}",
+            columns=names + ["workload", self.metric_name],
+        )
+        for point, workload, programs, config in self._points():
             result = ctx.run(config, programs)
             self.points_run += 1
             table.add(**point, workload=workload, **{self.metric_name: metric(result)})

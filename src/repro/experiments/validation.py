@@ -49,6 +49,12 @@ def _run_streams(
     return result.utilized_bandwidth_gbs, result.avg_read_latency_ns
 
 
+def plan(ctx: Optional[ExperimentContext] = None) -> list:
+    """Nothing to prefetch: validation builds systems from raw synthetic
+    traces, which are not addressable by the (config, programs) run key."""
+    return []
+
+
 def run_saturation(ctx: Optional[ExperimentContext] = None) -> ResultTable:
     """Bandwidth and latency as offered load rises (more stream cores)."""
     instructions = ctx.instructions if ctx else 30_000

@@ -78,6 +78,32 @@ class SimulationResult:
         refs = [reference_ipcs[p] for p in self.programs]
         return metrics.smt_speedup(self.core_ipcs, refs)
 
+    # -- serialisation (run cache, differential tests) -----------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible encoding; exact inverse of :meth:`from_dict`."""
+        from repro.serialize import encode_value
+
+        return encode_value(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.serialize import decode_value
+
+        return decode_value(raw, cls)
+
+    def canonical_json(self) -> str:
+        """Canonical one-line JSON text of this result.
+
+        Two results are bit-identical iff their canonical JSON matches; the
+        serial-vs-parallel and cached-vs-fresh differential tests compare
+        these strings byte-for-byte.
+        """
+        from repro.serialize import canonical_dumps
+
+        return canonical_dumps(self.to_dict())
+
 
 class System:
     """One simulated machine, built and runnable exactly once.

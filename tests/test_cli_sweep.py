@@ -34,20 +34,36 @@ class TestAxisParsing:
 
 
 class TestSweepCommand:
-    def test_sweep_runs_and_charts(self, capsys):
+    def test_sweep_runs_and_charts(self, capsys, tmp_path):
         code = main([
             "sweep", "k=2,4", "--workload", "swim", "--insts", "3000",
+            "--cache-dir", str(tmp_path / "cache"),
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert "Sweep over k" in out
         assert "#" in out  # bar chart rendered
+        assert "[cache: 2 simulated" in out
 
     def test_sweep_two_axes(self, capsys):
         code = main([
             "sweep", "k=4", "channels=1,2", "--workload", "vpr",
-            "--insts", "3000",
+            "--insts", "3000", "--no-cache",
         ])
         assert code == 0
         out = capsys.readouterr().out
         assert "channels" in out
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        argv = [
+            "sweep", "k=2,4", "--workload", "swim", "--insts", "3000",
+            "--cache-dir", str(tmp_path / "cache"), "--jobs", "2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[cache: 2 simulated, 0 served" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "[cache: 0 simulated, 2 served" in second
+        # identical tables either way
+        assert first.split("[cache")[0] == second.split("[cache")[0]

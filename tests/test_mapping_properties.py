@@ -1,0 +1,128 @@
+"""Property tests: the address map is a bijection onto the device space.
+
+For every interleaving scheme, mapping the full capacity of a (small)
+memory system must hit every (channel, dimm, rank, bank, row, line) slot
+exactly once, and ``unmap`` must invert ``map`` everywhere.  A hypothesis
+pass then re-checks the round trip and region invariants over randomly
+drawn geometries, where hand-picked cases tend to miss carry interactions
+between the divmod stages.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    AmbPrefetchConfig,
+    InterleaveScheme,
+    MemoryConfig,
+    MemoryKind,
+)
+from repro.controller.mapping import AddressMapper
+
+
+def _memory(
+    scheme: InterleaveScheme,
+    k: int = 4,
+    logic_channels: int = 1,
+    physical_per_logic: int = 2,
+    dimms: int = 2,
+    ranks: int = 1,
+    banks: int = 2,
+    rows: int = 4,
+    page_bytes: int = 512,
+) -> MemoryConfig:
+    return MemoryConfig(
+        kind=MemoryKind.FBDIMM,
+        logic_channels=logic_channels,
+        physical_per_logic=physical_per_logic,
+        dimms_per_channel=dimms,
+        ranks_per_dimm=ranks,
+        banks_per_dimm=banks,
+        rows_per_bank=rows,
+        page_bytes=page_bytes,
+        cacheline_bytes=64,
+        interleave=scheme,
+        prefetch=AmbPrefetchConfig(
+            enabled=scheme is InterleaveScheme.MULTI_CACHELINE,
+            region_cachelines=k,
+        ),
+    )
+
+
+def _capacity(mapper: AddressMapper) -> int:
+    return (
+        mapper.channels
+        * mapper.dimms
+        * mapper.ranks
+        * mapper.banks
+        * mapper.rows
+        * mapper.lines_per_page
+    )
+
+
+@pytest.mark.parametrize("ranks", [1, 2], ids=["single-rank", "dual-rank"])
+@pytest.mark.parametrize("scheme", list(InterleaveScheme))
+def test_full_space_is_a_bijection(scheme, ranks):
+    mapper = AddressMapper(_memory(scheme, ranks=ranks))
+    capacity = _capacity(mapper)
+    slots = set()
+    for addr in range(capacity):
+        m = mapper.map(addr)
+        assert 0 <= m.channel < mapper.channels
+        assert 0 <= m.dimm < mapper.dimms
+        assert 0 <= m.rank < mapper.ranks
+        assert 0 <= m.bank < mapper.banks
+        assert 0 <= m.row < mapper.rows
+        assert 0 <= m.line_in_page < mapper.lines_per_page
+        assert mapper.unmap(m) == addr
+        slots.add((m.channel, m.dimm, m.rank, m.bank, m.row, m.line_in_page))
+    # injective into a space of exactly `capacity` slots => bijective
+    assert len(slots) == capacity
+
+
+GEOMETRIES = st.fixed_dictionaries(
+    {
+        "scheme": st.sampled_from(list(InterleaveScheme)),
+        "k": st.sampled_from([1, 2, 4, 8]),
+        "logic_channels": st.integers(1, 3),
+        "physical_per_logic": st.integers(1, 2),
+        "dimms": st.integers(1, 3),
+        "ranks": st.integers(1, 2),
+        "banks": st.integers(1, 4),
+        "rows": st.integers(1, 8),
+        "page_bytes": st.sampled_from([512, 1024]),
+    }
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(geometry=GEOMETRIES, data=st.data())
+def test_round_trip_over_random_geometries(geometry, data):
+    mapper = AddressMapper(_memory(**geometry))
+    capacity = _capacity(mapper)
+    addr = data.draw(st.integers(min_value=0, max_value=capacity - 1))
+    m = mapper.map(addr)
+    assert mapper.unmap(m) == addr
+    assert m.region == mapper.region_of(addr) == addr // mapper.region_lines
+    assert m.line_in_region == addr % mapper.region_lines
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometry=GEOMETRIES, region=st.integers(0, 10_000))
+def test_region_lines_share_one_dram_page(geometry, region):
+    """All K lines of a region land in the same row of the same bank —
+    the invariant AMB prefetching's one-ACT-per-region fetch relies on."""
+    mapper = AddressMapper(_memory(**geometry))
+    lines = mapper.region_lines_of(region)
+    assert len(lines) == mapper.region_lines
+    mapped = [mapper.map(a) for a in lines]
+    pages = {(m.channel, m.dimm, m.rank, m.bank, m.row) for m in mapped}
+    assert len(pages) == 1
+    assert [m.line_in_region for m in mapped] == list(range(len(lines)))
+
+
+def test_negative_address_rejected():
+    mapper = AddressMapper(_memory(InterleaveScheme.CACHELINE))
+    with pytest.raises(ValueError):
+        mapper.map(-1)

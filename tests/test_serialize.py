@@ -1,0 +1,142 @@
+"""Round-trip tests for the typed JSON codec behind the run cache.
+
+The cache and the differential tests rely on serialisation being *exact*:
+``from_dict(to_dict(x)) == x`` and the canonical JSON text being stable,
+so two results can be compared byte-for-byte.
+"""
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.config import (
+    AmbPrefetchConfig,
+    Associativity,
+    InterleaveScheme,
+    PagePolicy,
+    PrefetchLocation,
+    ReplacementPolicy,
+    SystemConfig,
+    ddr2_baseline,
+    ddr3_memory_overrides,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.serialize import canonical_dumps, decode_value, encode_value
+from repro.stats.collector import MemSystemStats
+from repro.system import SimulationResult, run_system
+
+
+def _small(config: SystemConfig) -> SystemConfig:
+    return dataclasses.replace(config, instructions_per_core=1500)
+
+
+CONFIGS = [
+    ddr2_baseline(num_cores=1),
+    fbdimm_baseline(num_cores=4),
+    fbdimm_amb_prefetch(num_cores=2),
+    fbdimm_amb_prefetch(
+        num_cores=1,
+        prefetch=AmbPrefetchConfig(
+            region_cachelines=8,
+            cache_entries=128,
+            associativity=Associativity.FOUR_WAY,
+            replacement=ReplacementPolicy.LRU,
+            location=PrefetchLocation.CONTROLLER,
+        ),
+    ),
+    fbdimm_amb_prefetch(
+        num_cores=1,
+        interleave=InterleaveScheme.PAGE,
+        page_policy=PagePolicy.OPEN_PAGE,
+    ),
+    fbdimm_baseline(num_cores=1, **ddr3_memory_overrides(1066)),
+]
+
+
+class TestPrimitives:
+    def test_primitives_pass_through(self):
+        for value in (0, -3, 1.5, "x", True, False, None):
+            assert encode_value(value) == value
+
+    def test_enum_encodes_by_name(self):
+        assert encode_value(Associativity.FULL) == "FULL"
+        assert decode_value("FULL", Associativity) is Associativity.FULL
+
+    def test_unencodable_is_a_hard_error(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+        with pytest.raises(TypeError):
+            encode_value({1, 2, 3})
+
+    def test_float_json_fidelity(self):
+        values = [0.1, 1.0 / 3.0, 2.5e-17, 39.0, 1e300]
+        text = canonical_dumps(encode_value(values))
+        assert json.loads(text) == values
+
+    def test_canonical_text_is_key_order_independent(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == canonical_dumps({"a": 2, "b": 1})
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("config", CONFIGS, ids=range(len(CONFIGS)))
+    def test_round_trip_is_exact(self, config):
+        restored = SystemConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert canonical_dumps(restored.to_dict()) == canonical_dumps(config.to_dict())
+
+    def test_unknown_keys_are_ignored(self):
+        raw = fbdimm_baseline().to_dict()
+        raw["from_the_future"] = 42
+        assert SystemConfig.from_dict(raw) == fbdimm_baseline()
+
+    def test_missing_keys_take_field_defaults(self):
+        raw = fbdimm_baseline().to_dict()
+        del raw["seed"]
+        assert SystemConfig.from_dict(raw).seed == SystemConfig().seed
+
+
+@dataclasses.dataclass
+class _Nested:
+    per_core: Dict[int, List[int]]
+    pair: Tuple[int, str]
+    maybe: Optional[float] = None
+
+
+class TestTypedContainers:
+    def test_int_dict_keys_survive_json(self):
+        value = _Nested(per_core={3: [1, 2], 0: []}, pair=(7, "x"), maybe=0.25)
+        raw = json.loads(canonical_dumps(encode_value(value)))
+        assert decode_value(raw, _Nested) == value
+
+    def test_none_optional(self):
+        value = _Nested(per_core={}, pair=(0, ""), maybe=None)
+        assert decode_value(encode_value(value), _Nested) == value
+
+    def test_mem_stats_round_trip(self):
+        stats = MemSystemStats(
+            demand_reads=10,
+            per_channel_busy_ps={"nb0": 123, "sb0": 456},
+            per_core_reads={0: [5, 7], 2: [1]},
+            first_activity_ps=-1,
+        )
+        raw = json.loads(canonical_dumps(encode_value(stats)))
+        assert decode_value(raw, MemSystemStats) == stats
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_system(_small(fbdimm_amb_prefetch(num_cores=1)), ("swim",))
+
+    def test_result_round_trip_is_exact(self, result):
+        restored = SimulationResult.from_dict(result.to_dict())
+        assert restored == result
+        assert restored.canonical_json() == result.canonical_json()
+
+    def test_canonical_json_round_trips_through_text(self, result):
+        text = result.canonical_json()
+        again = SimulationResult.from_dict(json.loads(text))
+        assert again.canonical_json() == text
