@@ -216,6 +216,40 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from repro.faults.sweep import fault_sweep, format_sweep
+
+    if args.system == "ddr2":
+        raise SystemExit("fault injection models the FB-DIMM link layer; "
+                         "use --system fbd or fbd-ap")
+    try:
+        rates = [float(v) for v in args.rates.split(",") if v]
+    except ValueError as exc:
+        raise SystemExit(f"bad --rates value: {exc}") from exc
+    if not rates:
+        raise SystemExit("--rates needs at least one error rate")
+    programs = workload_programs(args.workload)
+    config = _build_config(args, args.system)
+    config = dataclasses.replace(
+        config, faults=dataclasses.replace(config.faults, seed=args.fault_seed)
+    )
+    points = fault_sweep(
+        config,
+        programs,
+        rates,
+        amb_bitflip_rate=args.bitflip,
+        jobs=args.jobs,
+    )
+    print(
+        f"workload {args.workload}, system {args.system}, "
+        f"{args.insts} instructions/core, fault seed {args.fault_seed}\n"
+    )
+    print(format_sweep(points))
+    print("\n(dIPC is relative to the fault-free baseline; 'retry ns' is "
+          "link latency added by replays)")
+    return 0
+
+
 def cmd_cache(args) -> int:
     from repro.experiments.runcache import RunCache
 
@@ -287,6 +321,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--cache-dir", default=".repro-cache",
                          help="run-cache directory")
     sweep_p.set_defaults(func=cmd_sweep)
+
+    faults_p = sub.add_parser(
+        "faults", help="sweep link error rates (repro.faults injection)"
+    )
+    add_run_args(faults_p)
+    faults_p.add_argument("--system", choices=("fbd", "fbd-ap"),
+                          default="fbd-ap")
+    faults_p.add_argument("--rates", default="1e-6,1e-4,1e-2",
+                          help="comma-separated frame error rates")
+    faults_p.add_argument("--bitflip", type=float, default=None,
+                          help="AMB-cache bit-flip rate (default: same as "
+                               "the link error rate)")
+    faults_p.add_argument("--fault-seed", type=int, default=0xFBD1,
+                          help="seed of the fault-decision streams")
+    faults_p.set_defaults(func=cmd_faults)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or purge the persistent run cache"

@@ -72,4 +72,12 @@ def run_report(result: SimulationResult) -> str:
             f"efficiency {result.prefetch_efficiency:.1%}, "
             f"{mem.prefetched_lines} lines prefetched"
         )
+    if cfg.faults.enabled:
+        lines.append(
+            f"  faults: {mem.faults_corrupted} corrupted transfers "
+            f"({mem.faults_retried_ok} retried ok, {mem.faults_dropped} "
+            f"dropped), {mem.amb_parity_errors} parity errors, "
+            f"{mem.fault_retry_latency_ps / 1000:.1f} ns retry latency, "
+            f"{mem.fault_degraded_entries} degraded-mode entries"
+        )
     return "\n".join(lines)

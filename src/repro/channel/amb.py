@@ -14,9 +14,12 @@ because its contents mirror this AMB's data array one-to-one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.config import MemoryConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.retry import ChannelFaults
 from repro.controller.mapping import MappedAddress
 from repro.controller.prefetch_table import PrefetchTable
 from repro.dram.bank import AccessResult, Bank, RankTimer
@@ -74,6 +77,9 @@ class Amb:
         #: AMB cache merges with the fill instead of re-fetching.
         self.pending_fills: Dict[int, Dict[int, int]] = {}
         self.prefetched_lines = 0  # lines written into the AMB cache
+        #: Optional fault-injection state shared with the channel
+        #: controller; drives the AMB-cache parity checks when set.
+        self.faults: "Optional[ChannelFaults]" = None
 
     # ------------------------------------------------------------------
     # Rank/bank resolution
@@ -115,6 +121,15 @@ class Amb:
         group fetches count as hits that become ready at their fill time.
         """
         assert self.table is not None, "cache_lookup requires prefetching"
+        if (
+            self.faults is not None
+            and self.table.contains(line_addr)
+            and self.faults.cached_line_flipped()
+        ):
+            # Parity detected a bit-flipped copy: void the entry before the
+            # tag probe, so the lookup below counts a miss and the demand
+            # re-fetches the line from DRAM (no silent corruption served).
+            self.table.invalidate(line_addr)
         if self.table.lookup(line_addr):
             return 0
         region = line_addr // self.config.prefetch.region_cachelines

@@ -17,10 +17,14 @@ regardless of which DIMM answered.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.channel.frames import NorthboundLink, SouthboundLink
 from repro.config import MemoryConfig
 from repro.engine.simulator import ns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.retry import ChannelFaults
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,10 @@ class FbdimmLinks:
             self.frame_ps,
             phase_ps=self.command_delay_ps % self.frame_ps,
         )
+        #: Optional CRC retry engine (repro.faults); the channel controller
+        #: assigns it when fault injection is enabled.  None keeps every
+        #: transfer on the seed fast path.
+        self.faults: "Optional[ChannelFaults]" = None
 
     def hop_penalty(self, dimm: int) -> int:
         """Daisy-chain forwarding delay charged on the read-return path."""
@@ -64,18 +72,46 @@ class FbdimmLinks:
         return hops * self.hop_ps
 
     def send_command(self, earliest: int) -> int:
-        """Send one command south; return its arrival at the AMB."""
+        """Send one command south; return its arrival at the AMB.
+
+        Under fault injection a CRC-corrupted command frame is replayed
+        (the AMB NACKs it) until it decodes; the arrival is then the last
+        replay's frame plus the decode delay.
+        """
         frame_start = self.south.reserve_command(earliest)
+        if self.faults is not None:
+            first = (frame_start, frame_start + self.frame_ps)
+            frame_start, _ = self.faults.transfer(
+                "SB_CMD",
+                first,
+                lambda at, attempt: self._reserve_command_slot(at, attempt),
+            )
         return frame_start + self.command_delay_ps
+
+    def _reserve_command_slot(self, earliest: int, retry: int) -> "tuple[int, int]":
+        start = self.south.reserve_command(earliest, retry=retry)
+        return start, start + self.frame_ps
 
     def send_write(self, earliest: int, dimm: int) -> int:
         """Stream a command + a cacheline of write data south.
 
         The command rides in the first data frame (1 command + 16 B per
         frame).  Returns when the full write has arrived at the target AMB;
-        the DRAM write can begin then.
+        the DRAM write can begin then.  A corrupted write stream is
+        replayed whole — write data is not committed from a frame whose
+        CRC failed.
         """
-        _, data_end = self.south.reserve_write_data(earliest, self.write_frames)
+        first_start, data_end = self.south.reserve_write_data(
+            earliest, self.write_frames
+        )
+        if self.faults is not None:
+            _, data_end = self.faults.transfer(
+                "SB_DATA",
+                (first_start, data_end),
+                lambda at, attempt: self.south.reserve_write_data(
+                    at, self.write_frames, retry=attempt
+                ),
+            )
         return data_end + self.command_delay_ps + self.hop_penalty(dimm)
 
     def return_read(self, data_ready: int, dimm: int) -> ReadReturn:
@@ -83,9 +119,19 @@ class FbdimmLinks:
 
         ``data_ready`` is when the first beats are available at the AMB
         (cut-through from the DIMM's DDR2 bus, or immediately for an
-        AMB-cache hit).
+        AMB-cache hit).  A line whose CRC fails at the controller is
+        replayed from the AMB's retransmission buffer after the backoff
+        (which covers the southbound NACK round trip).
         """
         start, end = self.north.reserve_line(data_ready, self.read_frames)
+        if self.faults is not None:
+            start, end = self.faults.transfer(
+                "NB_LINE",
+                (start, end),
+                lambda at, attempt: self.north.reserve_line(
+                    at, self.read_frames, retry=attempt
+                ),
+            )
         penalty = self.hop_penalty(dimm)
         return ReadReturn(
             link_start=start,

@@ -16,11 +16,135 @@ the channel controller can treat either uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 #: Southbound frame capacity per Section 2.
 COMMANDS_PER_FRAME = 3
 COMMANDS_WITH_DATA = 1
+
+#: Wire-image geometry of the frame codec below.  The timing schedulers
+#: never pack bytes on the hot path; the codec defines the CRC-protected
+#: frame layout that :mod:`repro.faults` corruption probabilities abstract,
+#: and gives the fault tests a concrete image to flip bits in.
+WRITE_DATA_BYTES = 16  # southbound payload per frame (Section 2)
+READ_DATA_BYTES = 32  # northbound payload per frame (Section 2)
+COMMAND_BYTES = 3  # one command slot (24-bit encoded command)
+_SOUTH_HEADER = 1  # [n_commands:2][has_data:1] packed in one byte
+_CRC_BYTES = 2
+SOUTH_FRAME_BYTES = (
+    _SOUTH_HEADER + COMMANDS_PER_FRAME * COMMAND_BYTES + WRITE_DATA_BYTES + _CRC_BYTES
+)
+NORTH_FRAME_BYTES = READ_DATA_BYTES + _CRC_BYTES
+
+
+class FrameError(ValueError):
+    """A frame failed to decode: bad length, malformed header, or CRC."""
+
+
+def frame_crc(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over ``data``.
+
+    Real FB-DIMM frames carry CRC on both links (22-bit southbound,
+    12-bit northbound); a 16-bit CRC keeps the wire image simple while
+    preserving the property the fault model relies on: every single-bit
+    corruption of a frame is detected.
+    """
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            crc = ((crc << 1) ^ 0x1021) if crc & 0x8000 else (crc << 1)
+            crc &= 0xFFFF
+    return crc
+
+
+def pack_southbound_frame(commands: Sequence[int], data: bytes = b"") -> bytes:
+    """Pack one southbound frame: up to three commands, or one + 16 B data.
+
+    Each command is a 24-bit opaque encoding (the checker cares about slot
+    occupancy, not command semantics).  Raises :class:`FrameError` on a
+    payload that no legal frame can carry.
+    """
+    commands = tuple(commands)
+    if data and len(data) != WRITE_DATA_BYTES:
+        raise FrameError(
+            f"southbound data payload must be {WRITE_DATA_BYTES} B, "
+            f"got {len(data)}"
+        )
+    if not commands and not data:
+        raise FrameError("an empty frame is never transmitted")
+    limit = COMMANDS_WITH_DATA if data else COMMANDS_PER_FRAME
+    if len(commands) > limit:
+        raise FrameError(
+            f"{len(commands)} command(s) with{' ' if data else 'out '}data: "
+            f"a frame carries {COMMANDS_PER_FRAME} commands, or "
+            f"{COMMANDS_WITH_DATA} command plus {WRITE_DATA_BYTES} B of data"
+        )
+    for command in commands:
+        if not 0 <= command < 1 << (8 * COMMAND_BYTES):
+            raise FrameError(f"command {command:#x} exceeds 24 bits")
+    header = (len(commands) << 1) | (1 if data else 0)
+    body = bytearray([header])
+    for slot in range(COMMANDS_PER_FRAME):
+        value = commands[slot] if slot < len(commands) else 0
+        body += value.to_bytes(COMMAND_BYTES, "big")
+    body += data if data else bytes(WRITE_DATA_BYTES)
+    return bytes(body) + frame_crc(bytes(body)).to_bytes(_CRC_BYTES, "big")
+
+
+def unpack_southbound_frame(raw: bytes) -> Tuple[Tuple[int, ...], bytes]:
+    """Decode a southbound frame back to ``(commands, data)``.
+
+    Raises :class:`FrameError` on anything a real AMB would reject: wrong
+    length, CRC mismatch (corruption), a header describing an impossible
+    frame, or non-zero bits in unused command slots.
+    """
+    if len(raw) != SOUTH_FRAME_BYTES:
+        raise FrameError(
+            f"southbound frame is {SOUTH_FRAME_BYTES} B, got {len(raw)}"
+        )
+    body, crc = raw[:-_CRC_BYTES], int.from_bytes(raw[-_CRC_BYTES:], "big")
+    if frame_crc(body) != crc:
+        raise FrameError("southbound frame CRC mismatch")
+    n_commands, has_data = body[0] >> 1, bool(body[0] & 1)
+    limit = COMMANDS_WITH_DATA if has_data else COMMANDS_PER_FRAME
+    if n_commands > limit or (not has_data and n_commands == 0):
+        raise FrameError(
+            f"malformed header: {n_commands} command(s), data={has_data}"
+        )
+    commands = []
+    for slot in range(COMMANDS_PER_FRAME):
+        start = _SOUTH_HEADER + slot * COMMAND_BYTES
+        value = int.from_bytes(body[start:start + COMMAND_BYTES], "big")
+        if slot < n_commands:
+            commands.append(value)
+        elif value:
+            raise FrameError(f"unused command slot {slot} is not zeroed")
+    payload = body[-WRITE_DATA_BYTES:]
+    if not has_data and any(payload):
+        raise FrameError("command-only frame carries data bits")
+    return tuple(commands), bytes(payload) if has_data else b""
+
+
+def pack_northbound_frame(payload: bytes) -> bytes:
+    """Pack one northbound frame: exactly 32 B of read data plus CRC."""
+    if len(payload) != READ_DATA_BYTES:
+        raise FrameError(
+            f"northbound payload must be {READ_DATA_BYTES} B, got {len(payload)}"
+        )
+    return payload + frame_crc(payload).to_bytes(_CRC_BYTES, "big")
+
+
+def unpack_northbound_frame(raw: bytes) -> bytes:
+    """Decode a northbound frame; raises :class:`FrameError` on corruption."""
+    if len(raw) != NORTH_FRAME_BYTES:
+        raise FrameError(
+            f"northbound frame is {NORTH_FRAME_BYTES} B, got {len(raw)}"
+        )
+    payload, crc = raw[:-_CRC_BYTES], int.from_bytes(raw[-_CRC_BYTES:], "big")
+    if frame_crc(payload) != crc:
+        raise FrameError("northbound frame CRC mismatch")
+    return payload
 
 
 class SouthboundLink:
@@ -35,8 +159,11 @@ class SouthboundLink:
         self._frames: Dict[int, List] = {}
         self.frames_used = 0
         #: Optional booking journal for the protocol checker:
-        #: ("cmd"|"data", frame_start_ps).  None keeps the hot path lean.
-        self.journal: Optional[List[Tuple[str, int]]] = None
+        #: ("cmd"|"data", frame_start_ps, retry_attempt).  Attempt 0 is the
+        #: original transfer; retries of a CRC-corrupted transfer book real
+        #: frames too and carry their attempt number so the checker can
+        #: audit the retry budget.  None keeps the hot path lean.
+        self.journal: Optional[List[Tuple[str, int, int]]] = None
 
     def enable_journal(self) -> None:
         """Record every frame booking (protocol-checker support)."""
@@ -53,11 +180,12 @@ class SouthboundLink:
 
     # -- allocation ---------------------------------------------------------
 
-    def reserve_command(self, earliest: int) -> int:
+    def reserve_command(self, earliest: int, retry: int = 0) -> int:
         """Place one command in the first frame with a free command slot.
 
         Returns the frame's start time (the command is on the wire from
         then; decode latency is the caller's command-delay constant).
+        ``retry`` is the replay attempt number journalled for the checker.
         """
         index = self._first_index_at(earliest)
         while True:
@@ -74,10 +202,12 @@ class SouthboundLink:
             index += 1
         start = self.frame_start(index)
         if self.journal is not None:
-            self.journal.append(("cmd", start))
+            self.journal.append(("cmd", start, retry))
         return start
 
-    def reserve_write_data(self, earliest: int, frames_needed: int) -> Tuple[int, int]:
+    def reserve_write_data(
+        self, earliest: int, frames_needed: int, retry: int = 0
+    ) -> Tuple[int, int]:
         """Stream write data over ``frames_needed`` data-capable frames.
 
         Frames need not be contiguous (real channels interleave commands
@@ -102,7 +232,7 @@ class SouthboundLink:
             if first_start is None:
                 first_start = self.frame_start(index)
             if self.journal is not None:
-                self.journal.append(("data", self.frame_start(index)))
+                self.journal.append(("data", self.frame_start(index), retry))
             placed += 1
             last_end = self.frame_start(index) + self.frame_ps
             index += 1
@@ -149,8 +279,8 @@ class NorthboundLink:
         self._taken: Dict[int, bool] = {}
         self.frames_used = 0
         #: Optional booking journal for the protocol checker:
-        #: ("line", first_frame_start_ps, frames).
-        self.journal: Optional[List[Tuple[str, int, int]]] = None
+        #: ("line", first_frame_start_ps, frames, retry_attempt).
+        self.journal: Optional[List[Tuple[str, int, int, int]]] = None
 
     def enable_journal(self) -> None:
         """Record every line booking (protocol-checker support)."""
@@ -163,10 +293,13 @@ class NorthboundLink:
     def frame_start(self, index: int) -> int:
         return index * self.frame_ps + self.phase_ps
 
-    def reserve_line(self, earliest: int, frames_needed: int) -> Tuple[int, int]:
+    def reserve_line(
+        self, earliest: int, frames_needed: int, retry: int = 0
+    ) -> Tuple[int, int]:
         """Allocate ``frames_needed`` contiguous frames at/after ``earliest``.
 
-        Returns (first_frame_start, last_frame_end).
+        Returns (first_frame_start, last_frame_end).  ``retry`` is the
+        replay attempt number journalled for the checker.
         """
         if frames_needed < 1:
             raise ValueError("need at least one frame")
@@ -178,7 +311,7 @@ class NorthboundLink:
                 self.frames_used += frames_needed
                 start = self.frame_start(index)
                 if self.journal is not None:
-                    self.journal.append(("line", start, frames_needed))
+                    self.journal.append(("line", start, frames_needed, retry))
                 return start, start + frames_needed * self.frame_ps
             index += 1
 

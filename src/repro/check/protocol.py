@@ -20,7 +20,10 @@ Checked rules (rule ids in parentheses):
 * FB-DIMM frames — slot starts must sit on the frame grid
   (``frame-align``), southbound frames hold at most three commands or one
   command plus write data (``frame-overcommit``), northbound frames carry
-  at most one line and a line's frames are contiguous (``frame-reuse``).
+  at most one line and a line's frames are contiguous (``frame-reuse``);
+* fault-injection replays — when ``params.max_retries`` is set, no frame
+  event's replay attempt may exceed ``max_retries + 1``, the +1 being the
+  post-reset recovery replay (``retry-budget``).
 
 Known model approximations the checker deliberately does *not* police:
 command-bus slot exclusivity (the simulator reserves one command-bus slot
@@ -308,6 +311,14 @@ class ProtocolChecker:
             return
         frame_ps = self.params.frame_ps
         book = self._frames.setdefault(event.channel, _FrameBook())
+
+        budget = self.params.max_retries
+        if budget and event.retry > budget + 1:
+            self._flag(
+                "retry-budget", event,
+                f"{event.kind} replay attempt {event.retry} exceeds the "
+                f"retry budget of {budget} (+1 recovery replay)",
+            )
 
         if event.kind == "NB_LINE":
             phase = self.params.nb_phase_ps

@@ -44,6 +44,8 @@ class CheckEvent:
         channel: Physical channel index.
         dimm / rank / bank / row: DRAM command location (-1 where n/a).
         frames: NB_LINE only — number of contiguous northbound frames.
+        retry: Frame events only — replay attempt number under fault
+            injection (0 = first transmission).
     """
 
     time_ps: int
@@ -54,6 +56,7 @@ class CheckEvent:
     bank: int = -1
     row: int = -1
     frames: int = 1
+    retry: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
@@ -84,6 +87,9 @@ class TraceParams:
         nb_phase_ps: Northbound frame-grid phase offset.
         switch_gap_ps: DDR2 data-bus turnaround/rank-switch bubble.
         banks_per_dimm: Logic banks per rank (for location sanity checks).
+        max_retries: Fault-injection retry budget; 0 disables the
+            retry-budget rule.  A journalled replay may reach at most
+            ``max_retries + 1`` (the post-reset recovery replay).
     """
 
     kind: str
@@ -92,6 +98,7 @@ class TraceParams:
     nb_phase_ps: int = 0
     switch_gap_ps: int = 0
     banks_per_dimm: int = 4
+    max_retries: int = 0
 
     @classmethod
     def from_memory_config(cls, config: MemoryConfig) -> "TraceParams":
@@ -153,6 +160,7 @@ def default_params(kind: str = "fbdimm") -> TraceParams:
 _FIELD_CODES = (
     ("t", "time_ps"), ("c", "kind"), ("ch", "channel"), ("d", "dimm"),
     ("r", "rank"), ("b", "bank"), ("row", "row"), ("n", "frames"),
+    ("rt", "retry"),
 )
 _DEFAULTS = {f.name: f.default for f in CheckEvent.__dataclass_fields__.values()}
 

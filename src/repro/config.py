@@ -178,6 +178,61 @@ class AmbPrefetchConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Seeded, deterministic fault injection for the FB-DIMM link layer.
+
+    Real FB-DIMM frames carry CRC and the controller replays corrupted
+    transfers; the seed model assumes a perfect channel.  With ``enabled``
+    this layer corrupts southbound/northbound transfers at ``error_rate``
+    (per transfer attempt), flips AMB-cache lines at ``amb_bitflip_rate``
+    (per cache hit, detected by parity and re-fetched), and drives the
+    controller-side retry engine: bounded replays with exponential backoff
+    in frame slots, and a per-channel degraded mode that disables AMB
+    prefetching after persistent errors.
+
+    Determinism: every fault decision comes from one ``random.Random``
+    stream per channel, seeded from ``(seed, channel_id)`` only — the same
+    config replays the same fault pattern, and ``error_rate=0`` (or
+    ``enabled=False``) is bit-identical to a fault-free run.
+
+    Attributes:
+        enabled: Master switch; off costs nothing and changes nothing.
+        error_rate: Per-transfer CRC-corruption probability on the links.
+        amb_bitflip_rate: Per-hit probability that a resident AMB-cache
+            line has suffered a bit flip (parity detects; the hit becomes
+            a miss and the line is invalidated).
+        seed: Fault-stream seed, independent of the workload seed.
+        max_retries: Replay attempts per transfer before it is counted as
+            dropped and the recovery replay completes it.
+        backoff_frames: Initial replay backoff in frame slots; doubles on
+            every further attempt of the same transfer.
+        degraded_threshold: Consecutive corrupted transfers on one channel
+            before it enters degraded mode (prefetching off); 0 disables
+            degraded mode.
+    """
+
+    enabled: bool = False
+    error_rate: float = 0.0
+    amb_bitflip_rate: float = 0.0
+    seed: int = 0xFBD1
+    max_retries: int = 3
+    backoff_frames: int = 1
+    degraded_threshold: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "amb_bitflip_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_frames < 0:
+            raise ValueError("backoff_frames must be >= 0")
+        if self.degraded_threshold < 0:
+            raise ValueError("degraded_threshold must be >= 0")
+
+
+@dataclass(frozen=True)
 class MemoryConfig:
     """Geometry and policy of the memory subsystem (Table 1, memory rows).
 
@@ -343,11 +398,20 @@ class SystemConfig:
     #: when the run ends (System.run raises ProtocolViolationError on any
     #: violation).  Off by default — journalling costs memory and time.
     check_protocol: bool = False
+    #: Seeded link-layer fault injection (see :class:`FaultConfig`).
+    #: Disabled by default: a default-config run is bit-identical to a
+    #: build without the fault subsystem at all.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if not 0 <= self.warmup_instructions < self.instructions_per_core:
             raise ValueError(
                 "warmup_instructions must be in [0, instructions_per_core)"
+            )
+        if self.faults.enabled and self.memory.kind is not MemoryKind.FBDIMM:
+            raise ValueError(
+                "fault injection models the FB-DIMM link layer; "
+                "memory.kind must be FBDIMM when faults.enabled"
             )
 
     def with_memory(self, **changes) -> "SystemConfig":
@@ -365,6 +429,16 @@ class SystemConfig:
     def with_cpu(self, **changes) -> "SystemConfig":
         """Return a copy with the CPU config fields replaced."""
         return replace(self, cpu=replace(self.cpu, **changes))
+
+    def with_faults(self, **changes) -> "SystemConfig":
+        """Return a copy with the fault-injection config fields replaced.
+
+        ``with_faults(error_rate=1e-6)`` implies ``enabled=True`` unless
+        ``enabled`` is passed explicitly — asking for faults is opting in.
+        """
+        if changes and "enabled" not in changes:
+            changes["enabled"] = True
+        return replace(self, faults=replace(self.faults, **changes))
 
     def to_dict(self) -> dict:
         """JSON-compatible encoding (enums by name, nested dataclasses

@@ -29,7 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.channel.amb import Amb
 from repro.channel.ddr2_bus import Ddr2Dimm
 from repro.channel.fbdimm_link import FbdimmLinks
-from repro.config import MemoryConfig, PrefetchLocation
+from repro.config import FaultConfig, MemoryConfig, PrefetchLocation
+from repro.faults.retry import ChannelFaults
 from repro.controller.prefetch_table import PrefetchTable
 from repro.controller.scheduler import HitFirstScheduler
 from repro.controller.transaction import MemoryRequest, RequestKind
@@ -323,6 +324,7 @@ class FbdimmChannelController(ChannelControllerBase):
         timing: TimingPs,
         channel_id: int,
         stats: MemSystemStats,
+        faults: Optional[FaultConfig] = None,
     ) -> None:
         super().__init__(sim, config, timing, channel_id, stats)
         self.links = FbdimmLinks(config, channel_id)
@@ -331,6 +333,17 @@ class FbdimmChannelController(ChannelControllerBase):
         ]
         self._start_refresh([amb.banks for amb in self.ambs])
         self.prefetch = config.prefetch
+        #: CRC retry/replay engine (None keeps the exact seed timing path).
+        self.faults: Optional[ChannelFaults] = None
+        #: Request currently inside _issue — context for the retry tracer
+        #: hook, which fires from deep inside the link layer.
+        self._issuing: Optional[MemoryRequest] = None
+        if faults is not None and faults.enabled:
+            self.faults = ChannelFaults(faults, config.frame_ps, channel_id, stats)
+            self.faults.on_retry = self._on_fault_retry
+            self.links.faults = self.faults
+            for amb in self.ambs:
+                amb.faults = self.faults
         # FBD-APFL (Figure 9): hits pay the full DRAM idle latency
         # (tRCD + tCL) but keep the bank idle.
         self.hit_extra_ps = (
@@ -383,9 +396,20 @@ class FbdimmChannelController(ChannelControllerBase):
             return pending[line_addr]
         return None
 
+    def _prefetch_active(self) -> bool:
+        """Prefetching is configured and the channel has not degraded.
+
+        A channel that entered fault-degraded mode stops trusting (and
+        stops filling) its prefetch caches: demand reads fall back to the
+        plain FB-DIMM path until the end of the run.
+        """
+        if not self.prefetch.enabled:
+            return False
+        return self.faults is None or not self.faults.degraded
+
     def _estimate(self, req: MemoryRequest) -> int:
         amb = self._amb_for(req)
-        if self.prefetch.enabled and req.kind.is_read:
+        if self._prefetch_active() and req.kind.is_read:
             avail = self._probe_cache(amb, req.line_addr)
             if avail is not None:
                 return max(self.sim.now, avail)
@@ -394,20 +418,29 @@ class FbdimmChannelController(ChannelControllerBase):
 
     def _is_hit(self, req: MemoryRequest) -> bool:
         amb = self._amb_for(req)
-        if self.prefetch.enabled and req.kind.is_read:
+        if self._prefetch_active() and req.kind.is_read:
             if self._probe_cache(amb, req.line_addr) is not None:
                 return True
         return amb.bank_of(req.mapped).is_row_hit(req.mapped.row)
 
     # -- issue paths ---------------------------------------------------------
 
+    def _on_fault_retry(self, kind: str, time_ps: int, attempt: int) -> None:
+        """ChannelFaults.on_retry hook: surface replays to the tracer."""
+        if self.tracer is not None and self._issuing is not None:
+            self.tracer.on_retry(self._issuing, time_ps)
+
     def _issue(self, req: MemoryRequest) -> None:
-        if req.kind is RequestKind.WRITE:
-            self._issue_write(req)
-        elif self.prefetch.enabled:
-            self._issue_read_prefetching(req)
-        else:
-            self._issue_read_plain(req)
+        self._issuing = req
+        try:
+            if req.kind is RequestKind.WRITE:
+                self._issue_write(req)
+            elif self._prefetch_active():
+                self._issue_read_prefetching(req)
+            else:
+                self._issue_read_plain(req)
+        finally:
+            self._issuing = None
 
     def _issue_write(self, req: MemoryRequest) -> None:
         amb = self._amb_for(req)
@@ -529,17 +562,19 @@ class FbdimmChannelController(ChannelControllerBase):
         for amb in self.ambs:
             events.extend(self._bank_check_events(amb.dimm_id, amb.banks))
         if self.links.south.journal is not None:
-            for kind, start in self.links.south.journal:
+            for kind, start, retry in self.links.south.journal:
                 events.append(CheckEvent(
                     time_ps=start,
                     kind="SB_CMD" if kind == "cmd" else "SB_DATA",
                     channel=self.channel_id,
+                    retry=retry,
                 ))
         if self.links.north.journal is not None:
-            for _, start, frames in self.links.north.journal:
+            for _, start, frames, retry in self.links.north.journal:
                 events.append(CheckEvent(
                     time_ps=start, kind="NB_LINE",
                     channel=self.channel_id, frames=frames,
+                    retry=retry,
                 ))
         events.sort(key=lambda e: e.time_ps)
         return events

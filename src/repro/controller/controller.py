@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
-from repro.config import MemoryConfig, MemoryKind
+from repro.config import FaultConfig, MemoryConfig, MemoryKind
 from repro.controller.channel_controller import (
     ChannelControllerBase,
     Ddr2ChannelController,
@@ -37,26 +37,31 @@ class MemoryController:
         config: MemoryConfig,
         check_protocol: bool = False,
         tracer: "Optional[Tracer]" = None,
+        faults: "Optional[FaultConfig]" = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.check_protocol = check_protocol
         self.tracer = tracer
+        self.faults = faults
         self.stats = MemSystemStats()
         self.mapper = AddressMapper(config)
         timing = TimingPs.from_config(
             config.timings, config.dram_clock_ps, config.burst_clocks
         )
         self.timing = timing
-        channel_cls = (
-            FbdimmChannelController
-            if config.kind is MemoryKind.FBDIMM
-            else Ddr2ChannelController
-        )
-        self.channels: List[ChannelControllerBase] = [
-            channel_cls(sim, config, timing, ch, self.stats)
-            for ch in range(config.physical_channels)
-        ]
+        if config.kind is MemoryKind.FBDIMM:
+            self.channels: List[ChannelControllerBase] = [
+                FbdimmChannelController(
+                    sim, config, timing, ch, self.stats, faults=faults
+                )
+                for ch in range(config.physical_channels)
+            ]
+        else:
+            self.channels = [
+                Ddr2ChannelController(sim, config, timing, ch, self.stats)
+                for ch in range(config.physical_channels)
+            ]
         self.overhead_ps = ns(config.controller_overhead_ns)
         self.capacity = config.buffer_entries
         self.active = 0
@@ -148,11 +153,22 @@ class MemoryController:
         return events
 
     def check_protocol_violations(self) -> "list":
-        """Run the protocol checker over the journalled command stream."""
+        """Run the protocol checker over the journalled command stream.
+
+        With fault injection enabled the checker also enforces the retry
+        budget: no journalled replay may exceed ``max_retries + 1`` (the
+        +1 is the post-reset recovery replay).
+        """
+        import dataclasses
+
         from repro.check.protocol import ProtocolChecker
         from repro.check.trace import TraceParams
 
         params = TraceParams.from_memory_config(self.config)
+        if self.faults is not None and self.faults.enabled:
+            params = dataclasses.replace(
+                params, max_retries=self.faults.max_retries
+            )
         return ProtocolChecker(params).check(self.collect_check_events())
 
     def mark_measurement_start(self) -> None:

@@ -1,0 +1,29 @@
+"""Seeded fault injection for the FB-DIMM link layer (Issue 4).
+
+Public surface:
+
+* :class:`~repro.faults.injector.FaultInjector` — one deterministic
+  decision stream per channel;
+* :class:`~repro.faults.retry.ChannelFaults` — the controller-side CRC
+  retry/replay state machine with degraded-mode tracking;
+* :func:`~repro.faults.sweep.fault_sweep` — error-rate sweep driver used
+  by the ``repro faults`` CLI subcommand and the reliability tests.
+
+Everything here is inert unless ``SystemConfig.faults.enabled`` is set;
+a disabled config is pinned bit-identical to the fault-free simulator by
+``tests/test_faults.py``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import NB_LINE, SB_CMD, SB_DATA, ChannelFaults
+from repro.faults.sweep import FaultSweepPoint, fault_sweep
+
+__all__ = [
+    "FaultInjector",
+    "ChannelFaults",
+    "FaultSweepPoint",
+    "fault_sweep",
+    "SB_CMD",
+    "SB_DATA",
+    "NB_LINE",
+]

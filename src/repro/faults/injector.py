@@ -1,0 +1,73 @@
+"""Seeded, deterministic fault decisions for one FB-DIMM channel.
+
+One :class:`FaultInjector` owns one ``random.Random`` stream, seeded from
+``(FaultConfig.seed, channel_id)`` only.  Every fault decision — link
+transfer corruption, AMB-cache bit flips — consumes exactly one draw, in
+simulation order, so a given (config, workload) pair replays the same
+fault pattern on every run and on every machine.
+
+With ``error_rate=0`` the draws still happen but no decision ever fires,
+which is what makes an enabled-but-zero-rate run bit-identical to a run
+with faults disabled (the differential test in ``tests/test_faults.py``
+pins this).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import FaultConfig
+
+#: Multipliers folding (seed, channel) into one 64-bit stream seed; both
+#: prime, so adjacent channels land far apart in seed space.
+_SEED_MIX_A = 0x9E3779B97F4A7C15
+_SEED_MIX_B = 0x100000001B3
+
+
+class FaultInjector:
+    """The channel's fault oracle: one seeded decision stream.
+
+    Attributes:
+        decisions: Total draws consumed (diagnostics; equals the number of
+            transfer attempts plus AMB-cache hit probes on this channel).
+    """
+
+    def __init__(self, config: FaultConfig, channel_id: int = 0) -> None:
+        self.config = config
+        self.channel_id = channel_id
+        stream_seed = (
+            config.seed * _SEED_MIX_A + (channel_id + 1) * _SEED_MIX_B
+        ) & (1 << 64) - 1
+        self._rng = random.Random(stream_seed)
+        self.decisions = 0
+
+    def transfer_corrupted(self) -> bool:
+        """Does this link transfer attempt arrive with a bad CRC?"""
+        self.decisions += 1
+        return self._rng.random() < self.config.error_rate
+
+    def cached_line_flipped(self) -> bool:
+        """Has this resident AMB-cache line suffered a bit flip?
+
+        Drawn once per cache hit (not per stored line), modelling the
+        accumulated upset probability between fill and use; parity at the
+        AMB detects the flip, so a flipped hit becomes a counted miss.
+        """
+        self.decisions += 1
+        return self._rng.random() < self.config.amb_bitflip_rate
+
+    def corrupt_frame(self, raw: bytes) -> bytes:
+        """Flip one seeded bit of a packed frame image.
+
+        The CRC in :mod:`repro.channel.frames` detects every single-bit
+        flip; the fault tests use this to validate that the probabilistic
+        corruption the timing model injects corresponds to a detectable
+        wire-level event.
+        """
+        if not raw:
+            raise ValueError("cannot corrupt an empty frame")
+        self.decisions += 1
+        bit = self._rng.randrange(8 * len(raw))
+        flipped = bytearray(raw)
+        flipped[bit // 8] ^= 1 << (bit % 8)
+        return bytes(flipped)

@@ -1,0 +1,131 @@
+"""Error-rate sweep: how much performance does link noise cost?
+
+Drives :func:`repro.system.run_system` across a list of frame error
+rates and reports the IPC / latency degradation curve relative to a
+fault-free baseline.  Used by ``python -m repro faults`` and by the
+reliability tests; points fan out across worker processes through
+:func:`repro.experiments.parallel.execute_runs`, so a sweep is exactly
+as deterministic as its individual runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.config import FaultConfig, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
+    # cycle: repro.system imports the controller, which imports repro.faults)
+    from repro.system import SimulationResult
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One sweep point: a (error_rate, run outcome) pair plus deltas.
+
+    Attributes:
+        error_rate: Frame error probability of this run (per transfer
+            attempt); -1.0 marks the fault-free baseline row.
+        sum_ipc: Sum of per-core IPCs.
+        ipc_delta_pct: IPC change vs the baseline, in percent (<= 0 when
+            faults hurt).
+        avg_read_latency_ns: Mean demand-read latency.
+        retry_latency_ns: Total link-slot latency added by replays.
+        result: The full :class:`~repro.system.SimulationResult`.
+    """
+
+    error_rate: float
+    sum_ipc: float
+    ipc_delta_pct: float
+    avg_read_latency_ns: float
+    retry_latency_ns: float
+    result: "SimulationResult"
+
+    @property
+    def mem(self):
+        return self.result.mem
+
+
+def _faulted(config: SystemConfig, rate: float, bitflip: float) -> SystemConfig:
+    return config.with_faults(
+        enabled=True, error_rate=rate, amb_bitflip_rate=bitflip
+    )
+
+
+def fault_sweep(
+    config: SystemConfig,
+    programs: Sequence[str],
+    rates: Sequence[float],
+    amb_bitflip_rate: Optional[float] = None,
+    jobs: int = 1,
+) -> List[FaultSweepPoint]:
+    """Run ``programs`` at every error rate and the fault-free baseline.
+
+    Returns one point per entry of ``rates``, preceded by the baseline
+    point (``error_rate == -1.0``, faults disabled entirely).  When
+    ``amb_bitflip_rate`` is None every faulted run reuses its link error
+    rate for the AMB-cache bit-flip probability.
+    """
+    from repro.experiments.parallel import execute_runs
+
+    if not rates:
+        raise ValueError("fault_sweep needs at least one error rate")
+    baseline_config = replace(config, faults=FaultConfig())
+    pairs = [(baseline_config, tuple(programs))]
+    for rate in rates:
+        bitflip = rate if amb_bitflip_rate is None else amb_bitflip_rate
+        pairs.append((_faulted(config, rate, bitflip), tuple(programs)))
+    results = execute_runs(pairs, jobs=jobs)
+
+    baseline = results[0]
+    baseline_ipc = sum(baseline.core_ipcs)
+    points = [
+        FaultSweepPoint(
+            error_rate=-1.0,
+            sum_ipc=baseline_ipc,
+            ipc_delta_pct=0.0,
+            avg_read_latency_ns=baseline.avg_read_latency_ns,
+            retry_latency_ns=0.0,
+            result=baseline,
+        )
+    ]
+    for rate, result in zip(rates, results[1:]):
+        sum_ipc = sum(result.core_ipcs)
+        delta = (
+            (sum_ipc - baseline_ipc) / baseline_ipc * 100.0
+            if baseline_ipc
+            else 0.0
+        )
+        points.append(
+            FaultSweepPoint(
+                error_rate=rate,
+                sum_ipc=sum_ipc,
+                ipc_delta_pct=delta,
+                avg_read_latency_ns=result.avg_read_latency_ns,
+                retry_latency_ns=result.mem.fault_retry_latency_ps / 1000.0,
+                result=result,
+            )
+        )
+    return points
+
+
+def format_sweep(points: Sequence[FaultSweepPoint]) -> str:
+    """Render sweep points as the ``repro faults`` CLI table."""
+    header = (
+        f"{'error rate':>10} {'sum IPC':>8} {'dIPC':>7} {'latency':>9} "
+        f"{'retry ns':>9} {'corrupt':>8} {'retried':>8} {'dropped':>8} "
+        f"{'parity':>7} {'degr':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in points:
+        mem = point.mem
+        label = "off" if point.error_rate < 0 else f"{point.error_rate:.1e}"
+        lines.append(
+            f"{label:>10} {point.sum_ipc:>8.3f} {point.ipc_delta_pct:>6.2f}% "
+            f"{point.avg_read_latency_ns:>7.1f}ns {point.retry_latency_ns:>9.1f} "
+            f"{mem.faults_corrupted:>8} {mem.faults_retried_ok:>8} "
+            f"{mem.faults_dropped:>8} {mem.amb_parity_errors:>7} "
+            f"{mem.fault_degraded_entries:>5}"
+        )
+    return "\n".join(lines)

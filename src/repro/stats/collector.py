@@ -30,6 +30,14 @@ class MemSystemStats:
     column_accesses: int = 0  # RD/WR column commands at the DRAM devices
     row_hits: int = 0
     row_misses: int = 0
+    # -- fault injection (repro.faults; all zero when faults are off) ----
+    faults_injected: int = 0  # corrupted transfer attempts on the links
+    faults_corrupted: int = 0  # transfers that saw >= 1 corruption
+    faults_retried_ok: int = 0  # corrupted transfers recovered by a replay
+    faults_dropped: int = 0  # transfers that exhausted the retry budget
+    fault_retry_latency_ps: int = 0  # link-slot latency added by replays
+    fault_degraded_entries: int = 0  # channels that entered degraded mode
+    amb_parity_errors: int = 0  # AMB-cache hits invalidated by parity
     per_channel_busy_ps: Dict[str, int] = field(default_factory=dict)
     first_activity_ps: int = -1
     last_activity_ps: int = 0
@@ -61,6 +69,13 @@ class MemSystemStats:
         self.queue_delay_sum_ps = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.faults_injected = 0
+        self.faults_corrupted = 0
+        self.faults_retried_ok = 0
+        self.faults_dropped = 0
+        self.fault_retry_latency_ps = 0
+        self.fault_degraded_entries = 0
+        self.amb_parity_errors = 0
         self.first_activity_ps = -1
         self.last_activity_ps = 0
         if self.demand_latency_samples is not None:

@@ -62,6 +62,10 @@ class QueueSampler:
     def __post_init__(self) -> None:
         self._active = False
         self._deadline_ps: Optional[int] = None
+        #: Incremented on every attach; each tick chain captures its own
+        #: generation, so a stale tick left over from a detached chain can
+        #: never resurrect after a re-attach (it would double the cadence).
+        self._generation = 0
 
     @property
     def attached(self) -> bool:
@@ -75,12 +79,14 @@ class QueueSampler:
         if self._active:
             raise RuntimeError("sampler is already attached")
         self._active = True
+        self._generation += 1
+        generation = self._generation
         if self.max_duration_ps is not None:
             self._deadline_ps = sim.now + self.max_duration_ps
 
         def tick() -> None:
-            if not self._active:
-                return  # detached: the pending tick is a no-op
+            if not self._active or self._generation != generation:
+                return  # detached or superseded: the pending tick is a no-op
             if self._deadline_ps is not None and sim.now > self._deadline_ps:
                 self._active = False
                 return
@@ -105,7 +111,13 @@ class QueueSampler:
         return self
 
     def detach(self) -> None:
-        """Stop sampling now; already-recorded samples stay available."""
+        """Stop sampling now; already-recorded samples stay available.
+
+        Safe to call repeatedly and before any attach — a detached (or
+        never-attached) sampler treats further detaches as no-ops, and a
+        later :meth:`attach` starts a fresh tick chain whose cadence is
+        unaffected by the chain this call ended.
+        """
         self._active = False
 
     # -- aggregates -----------------------------------------------------

@@ -178,6 +178,7 @@ class System:
             self.sim, config.memory,
             check_protocol=config.check_protocol,
             tracer=tracer,
+            faults=config.faults if config.faults.enabled else None,
         )
         self.l2 = L2FillTable(L2_CAPACITY_LINES)
         self.l2_mshr = Limiter(config.cpu.l2_mshr_entries, "l2.mshr")

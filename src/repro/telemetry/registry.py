@@ -229,6 +229,20 @@ def registry_from_stats(stats, registry: Optional[MetricsRegistry] = None) -> Me
         ("mem.column_accesses", "RD/WR column commands", stats.column_accesses),
         ("mem.row_hits", "open-page row-buffer hits", stats.row_hits),
         ("mem.row_misses", "open-page row-buffer misses", stats.row_misses),
+        ("mem.faults_injected", "corrupted transfer attempts on the links",
+         stats.faults_injected),
+        ("mem.faults_corrupted", "transfers that saw >= 1 corruption",
+         stats.faults_corrupted),
+        ("mem.faults_retried_ok", "corrupted transfers recovered by replay",
+         stats.faults_retried_ok),
+        ("mem.faults_dropped", "transfers that exhausted the retry budget",
+         stats.faults_dropped),
+        ("mem.fault_retry_latency_ps", "link latency added by replays",
+         stats.fault_retry_latency_ps),
+        ("mem.fault_degraded_entries", "channels that entered degraded mode",
+         stats.fault_degraded_entries),
+        ("mem.amb_parity_errors", "AMB-cache hits voided by parity",
+         stats.amb_parity_errors),
     )
     for name, help, value in counters:
         reg.counter(name, help).inc(value)

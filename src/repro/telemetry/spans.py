@@ -13,6 +13,7 @@ Phases of one request (all times integer picoseconds):
 ``queued``       parked in the admission FIFO (64-entry buffer full)
 ``schedulable``  admitted to a channel queue, eligible for scheduling
 ``issue``        the scheduler picked it: first DRAM/AMB command
+``retry``        a CRC replay booked under fault injection (may repeat)
 ``data``         first beat of its data burst (cut-through for AMB hits)
 ``complete``     critical data back at the controller / write retired
 """
@@ -27,8 +28,9 @@ from repro.telemetry.registry import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.controller.transaction import MemoryRequest
 
-#: Canonical phase order; ``queued`` is optional (only backlogged requests).
-PHASES = ("arrival", "queued", "schedulable", "issue", "data", "complete")
+#: Canonical phase order; ``queued`` is optional (only backlogged
+#: requests), ``retry`` only appears under fault injection and may repeat.
+PHASES = ("arrival", "queued", "schedulable", "issue", "retry", "data", "complete")
 
 
 @dataclass
@@ -149,6 +151,9 @@ class Tracer:
         self._c_stalled = self.registry.counter(
             "trace.stalled_requests", "requests that waited past schedulable"
         )
+        self._c_retries = self.registry.counter(
+            "trace.fault_retries", "CRC replays booked under fault injection"
+        )
 
     # -- hooks (called by the controller layer) -------------------------
 
@@ -182,6 +187,13 @@ class Tracer:
         trace = self.requests.get(req.req_id)
         if trace is not None:
             trace.mark("issue", now)
+
+    def on_retry(self, req: "MemoryRequest", time_ps: int) -> None:
+        """A fault-injection replay was booked for this request."""
+        self._c_retries.inc()
+        trace = self.requests.get(req.req_id)
+        if trace is not None:
+            trace.mark("retry", time_ps)
 
     def on_data(self, req: "MemoryRequest", time_ps: int) -> None:
         trace = self.requests.get(req.req_id)

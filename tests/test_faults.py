@@ -1,0 +1,266 @@
+"""Reliability harness for repro.faults: no silent data loss, ever.
+
+Property suite (hypothesis) over the link-level retry state machine plus
+full-system differential tests:
+
+* accounting identity — every corrupted transfer is either retried to
+  success or a counted drop: ``faults_corrupted == faults_retried_ok +
+  faults_dropped``, under any (seed, error rate, operation mix);
+* ``error_rate=0`` (faults enabled) is byte-identical to a run with the
+  fault subsystem disabled entirely — the zero-overhead guarantee;
+* a fig07-style default run with ``FaultConfig()`` (disabled) is
+  deterministic and bit-identical across repeats;
+* rate-1.0 runs drive the channel into degraded mode, which disables
+  prefetching for the rest of the run.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fbdimm_link import FbdimmLinks
+from repro.config import FaultConfig, fbdimm_amb_prefetch, fbdimm_baseline
+from repro.faults import ChannelFaults, FaultInjector
+from repro.faults.sweep import fault_sweep, format_sweep
+from repro.stats.collector import MemSystemStats
+from repro.system import run_system
+
+PROGRAMS = ("swim", "applu")
+
+
+def small(config, insts=4_000):
+    return dataclasses.replace(config, instructions_per_core=insts)
+
+
+def make_links(rate, seed=1, max_retries=3, degraded_threshold=0, bitflip=0.0):
+    config = fbdimm_baseline(1).memory
+    links = FbdimmLinks(config, channel_id=0)
+    stats = MemSystemStats()
+    fc = FaultConfig(
+        enabled=True, error_rate=rate, amb_bitflip_rate=bitflip,
+        seed=seed, max_retries=max_retries,
+        degraded_threshold=degraded_threshold,
+    )
+    links.faults = ChannelFaults(fc, config.frame_ps, 0, stats)
+    return links, stats
+
+
+# ----------------------------------------------------------------------
+# Link-level properties
+# ----------------------------------------------------------------------
+
+
+class TestAccountingIdentity:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ops=st.lists(
+            st.sampled_from(["cmd", "write", "read"]), min_size=1, max_size=40
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_no_silent_loss(self, seed, rate, ops):
+        """Every transfer completes; every corruption episode is accounted
+        as exactly one of retried-ok or dropped."""
+        links, stats = make_links(rate, seed=seed)
+        now = 0
+        for op in ops:
+            if op == "cmd":
+                now = links.send_command(now)
+            elif op == "write":
+                now = links.send_write(now, 0)
+            else:
+                now = links.return_read(now, 0).full_at_mc
+        assert stats.faults_corrupted == (
+            stats.faults_retried_ok + stats.faults_dropped
+        )
+        assert stats.faults_injected >= stats.faults_corrupted
+        assert stats.fault_retry_latency_ps >= 0
+        if stats.faults_corrupted:
+            assert stats.fault_retry_latency_ps > 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_one_drops_everything_after_budget(self, seed):
+        """At rate 1.0 every transfer exhausts the budget: all episodes are
+        drops, each costing exactly 1 + max_retries corrupted attempts."""
+        max_retries = 2
+        links, stats = make_links(1.0, seed=seed, max_retries=max_retries)
+        transfers = 5
+        now = 0
+        for _ in range(transfers):
+            now = links.send_command(now)
+        assert stats.faults_corrupted == transfers
+        assert stats.faults_dropped == transfers
+        assert stats.faults_retried_ok == 0
+        assert stats.faults_injected == transfers * (1 + max_retries)
+
+    def test_rate_zero_draws_but_never_fires(self):
+        links, stats = make_links(0.0)
+        now = 0
+        for _ in range(20):
+            now = links.send_command(now)
+        assert links.faults.injector.decisions == 20
+        assert stats.faults_corrupted == 0
+        assert stats.fault_retry_latency_ps == 0
+
+    def test_retry_slots_are_real_link_bandwidth(self):
+        """Replays book frames: a corrupted command lands strictly later
+        than the fault-free copy of the same schedule."""
+        clean, _ = make_links(0.0)
+        faulty, stats = make_links(1.0, max_retries=1)
+        t_clean = clean.send_command(0)
+        t_faulty = faulty.send_command(0)
+        assert t_faulty > t_clean
+        assert stats.fault_retry_latency_ps > 0
+        # Exponential backoff: a deeper budget pushes completion further.
+        deeper, _ = make_links(1.0, max_retries=4)
+        assert deeper.send_command(0) > t_faulty
+
+
+class TestBackoffAndDegraded:
+    def test_backoff_is_exponential_in_frame_slots(self):
+        links, _ = make_links(0.5)
+        faults = links.faults
+        frame = links.frame_ps
+        assert faults.backoff_ps(1) == faults.config.backoff_frames * frame
+        assert faults.backoff_ps(3) == faults.config.backoff_frames * frame * 4
+        with pytest.raises(ValueError):
+            faults.backoff_ps(0)
+
+    def test_degraded_mode_entered_after_streak(self):
+        links, stats = make_links(1.0, degraded_threshold=3)
+        now = 0
+        for _ in range(3):
+            assert not links.faults.degraded
+            now = links.send_command(now)
+        assert links.faults.degraded
+        assert stats.fault_degraded_entries == 1
+        # Sticky: more episodes do not re-enter.
+        links.send_command(now)
+        assert stats.fault_degraded_entries == 1
+
+    def test_clean_transfer_resets_streak(self):
+        links, _ = make_links(0.5, seed=7, degraded_threshold=10_000)
+        now = 0
+        for _ in range(50):
+            now = links.send_command(now)
+        assert not links.faults.degraded
+        assert links.faults._streak < 50
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_stream(self):
+        fc = FaultConfig(enabled=True, error_rate=0.5, seed=99)
+        a = [FaultInjector(fc, 0).transfer_corrupted() for _ in range(1)]
+        i1, i2 = FaultInjector(fc, 0), FaultInjector(fc, 0)
+        assert [i1.transfer_corrupted() for _ in range(64)] == [
+            i2.transfer_corrupted() for _ in range(64)
+        ]
+        del a
+
+    def test_channels_get_distinct_streams(self):
+        fc = FaultConfig(enabled=True, error_rate=0.5, seed=99)
+        s0 = [FaultInjector(fc, 0).corrupt_frame(bytes(34)) for _ in range(4)]
+        s1 = [FaultInjector(fc, 1).corrupt_frame(bytes(34)) for _ in range(4)]
+        assert s0 != s1
+
+
+# ----------------------------------------------------------------------
+# Full-system differentials
+# ----------------------------------------------------------------------
+
+
+def _comparable(result):
+    data = result.to_dict()
+    data.pop("config")  # configs legitimately differ (enabled flag)
+    return data
+
+
+class TestSystemDifferentials:
+    def test_zero_rate_is_byte_identical_to_disabled(self):
+        """FaultConfig(enabled, error_rate=0) == no fault subsystem at all."""
+        base = small(fbdimm_amb_prefetch(num_cores=2))
+        off = run_system(base, list(PROGRAMS))
+        zero = run_system(
+            base.with_faults(enabled=True, error_rate=0.0), list(PROGRAMS)
+        )
+        assert _comparable(off) == _comparable(zero)
+
+    def test_disabled_fig07_style_run_is_deterministic(self):
+        """The acceptance pin: with FaultConfig() (default, disabled) a
+        fig07-style FBD-AP run is bit-identical across repeats."""
+        config = small(fbdimm_amb_prefetch(num_cores=2))
+        assert config.faults == FaultConfig()
+        first = run_system(config, list(PROGRAMS))
+        second = run_system(config, list(PROGRAMS))
+        assert first.canonical_json() == second.canonical_json()
+
+    def test_faulted_run_is_deterministic(self):
+        config = small(fbdimm_amb_prefetch(num_cores=2)).with_faults(
+            error_rate=0.05, amb_bitflip_rate=0.05
+        )
+        first = run_system(config, list(PROGRAMS))
+        second = run_system(config, list(PROGRAMS))
+        assert first.canonical_json() == second.canonical_json()
+        assert first.mem.faults_corrupted > 0
+
+    def test_elevated_rate_accounting_identity_end_to_end(self):
+        config = small(fbdimm_amb_prefetch(num_cores=2)).with_faults(
+            error_rate=0.2, amb_bitflip_rate=0.1
+        )
+        result = run_system(config, list(PROGRAMS))
+        mem = result.mem
+        assert mem.faults_corrupted > 0
+        assert mem.faults_corrupted == mem.faults_retried_ok + mem.faults_dropped
+        assert mem.fault_retry_latency_ps > 0
+        assert mem.amb_parity_errors > 0
+
+    def test_faults_slow_the_machine_down(self):
+        base = small(fbdimm_baseline(num_cores=2))
+        clean = run_system(base, list(PROGRAMS))
+        noisy = run_system(base.with_faults(error_rate=0.3), list(PROGRAMS))
+        assert sum(noisy.core_ipcs) < sum(clean.core_ipcs)
+        assert noisy.avg_read_latency_ns > clean.avg_read_latency_ns
+
+    def test_degraded_mode_disables_prefetching(self):
+        config = small(fbdimm_amb_prefetch(num_cores=2)).with_faults(
+            error_rate=1.0, degraded_threshold=4, max_retries=1
+        )
+        result = run_system(config, list(PROGRAMS))
+        mem = result.mem
+        assert mem.fault_degraded_entries >= 1
+        # After every channel degrades (threshold 4 at rate 1.0, so almost
+        # immediately), group fetches stop: far fewer fills than the
+        # fault-free run would make.
+        clean = run_system(
+            small(fbdimm_amb_prefetch(num_cores=2)), list(PROGRAMS)
+        )
+        assert mem.prefetched_lines < clean.mem.prefetched_lines
+
+    def test_ddr2_with_faults_rejected(self):
+        from repro.config import ddr2_baseline
+
+        with pytest.raises(ValueError, match="FBDIMM"):
+            ddr2_baseline(num_cores=1).with_faults(error_rate=1e-6)
+
+
+class TestFaultSweep:
+    def test_sweep_reports_degradation_curve(self):
+        config = small(fbdimm_amb_prefetch(num_cores=2), insts=2_500)
+        points = fault_sweep(config, PROGRAMS, [0.0, 0.3], jobs=1)
+        assert len(points) == 3
+        baseline, zero, noisy = points
+        assert baseline.error_rate == -1.0
+        assert baseline.ipc_delta_pct == 0.0
+        assert zero.sum_ipc == pytest.approx(baseline.sum_ipc)
+        assert noisy.sum_ipc < baseline.sum_ipc
+        assert noisy.ipc_delta_pct < 0
+        assert noisy.mem.faults_corrupted > 0
+        table = format_sweep(points)
+        assert "off" in table and "3.0e-01" in table
+
+    def test_sweep_requires_rates(self):
+        with pytest.raises(ValueError):
+            fault_sweep(small(fbdimm_baseline(1)), ("swim",), [])

@@ -62,6 +62,50 @@ class TestLifetime:
         system.run()
         assert sampler.samples
 
+    def test_stale_tick_cannot_resurrect_after_reattach(self):
+        """Regression: detach left its scheduled tick pending; a re-attach
+        must not let that stale tick record and re-arm alongside the new
+        chain (which doubled the sampling cadence)."""
+        system = build_system()
+        sampler = QueueSampler(period_ps=50_000)
+        sampler.attach(system.sim, system.controller)
+        sampler.detach()
+        sampler.attach(system.sim, system.controller)
+        system.run()
+        times = [s.time_ps for s in sampler.samples]
+        assert len(times) >= 2
+        assert len(times) == len(set(times))  # no duplicated sample instants
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert gaps == {50_000}  # single chain: exactly one period apart
+
+    def test_double_detach_is_noop(self):
+        sampler = QueueSampler(period_ps=50_000)
+        sampler.detach()  # never attached: still safe
+        sampler.detach()
+        system = build_system()
+        sampler.attach(system.sim, system.controller)
+        sampler.detach()
+        sampler.detach()
+        assert not sampler.attached
+        system.run()
+        assert sampler.samples == []
+        # ...and the sampler is still reusable after the run.
+        assert sampler.to_records() == []
+
+    def test_observe_into_after_detach_reattach_cycle(self):
+        """detach -> observe_into -> re-attach keeps the series coherent."""
+        system = build_system()
+        sampler = QueueSampler(period_ps=25_000)
+        sampler.attach(system.sim, system.controller)
+        sampler.detach()
+        registry = MetricsRegistry()
+        sampler.observe_into(registry)  # empty fold is fine
+        sampler.attach(system.sim, system.controller)
+        system.run()
+        sampler.observe_into(registry)
+        snap = registry.snapshot()
+        assert snap["sample.queue_depth"]["count"] == len(sampler.samples)
+
 
 class TestExportRouting:
     def test_to_records_match_samples(self):
