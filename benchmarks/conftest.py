@@ -16,8 +16,15 @@ from repro.experiments.runner import ExperimentContext
 
 
 def quick_ctx(instructions=15_000):
-    """A fresh, small experiment context (no cross-bench memoisation)."""
-    return ExperimentContext(instructions=instructions, quick=True)
+    """A fresh, small experiment context (no cross-bench memoisation).
+
+    The run cache is pinned off and jobs to 1 explicitly: a benchmark that
+    silently hit a populated ``.repro-cache`` (or fanned out across worker
+    processes) would time deserialization instead of simulation.
+    """
+    return ExperimentContext(
+        instructions=instructions, quick=True, jobs=1, cache=None
+    )
 
 
 @pytest.fixture

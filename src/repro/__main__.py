@@ -65,10 +65,12 @@ def _build_config(args, system: str) -> SystemConfig:
     )
 
 
-def _run_one(args, system: str, tracer=None):
+def _run_one(args, system: str, tracer=None, profiler=None):
     programs = workload_programs(args.workload)
     config = _build_config(args, system)
     machine = System(config, programs, tracer=tracer)
+    if profiler is not None:
+        machine.sim.profiler = profiler
     if args.latency:
         machine.controller.stats.enable_latency_capture()
     return machine, machine.run()
@@ -80,7 +82,13 @@ def cmd_run(args) -> int:
         from repro.telemetry import Tracer
 
         tracer = Tracer()
-    machine, result = _run_one(args, args.system, tracer=tracer)
+    profiler = None
+    if args.profile is not None:
+        from repro.engine.profiler import EventLoopProfiler
+
+        profiler = EventLoopProfiler()
+    machine, result = _run_one(args, args.system, tracer=tracer,
+                               profiler=profiler)
     if tracer is not None:
         from repro.telemetry import build_capture, save_capture
 
@@ -91,6 +99,9 @@ def cmd_run(args) -> int:
         records = save_capture(args.trace_out, capture)
         print(f"[trace: {records} records -> {args.trace_out}]")
     print(run_report(result))
+    if profiler is not None:
+        print()
+        print(profiler.tree_report(limit=args.profile))
     if args.latency:
         dist = LatencyDistribution.from_stats(result.mem)
         print(f"\nlatency distribution: {dist.format()}")
@@ -297,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--system", choices=SYSTEMS, default="fbd-ap")
     run_p.add_argument("--trace-out", metavar="PATH",
                        help="record a telemetry capture (see repro.trace)")
+    run_p.add_argument("--profile", nargs="?", const=15, default=None,
+                       type=int, metavar="N",
+                       help="profile the event loop; print the top-N "
+                            "callback sites (default 15)")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="DDR2 vs FBD vs FBD-AP")
@@ -343,6 +358,13 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p.add_argument("action", choices=("stats", "purge"))
     cache_p.add_argument("--cache-dir", default=".repro-cache")
     cache_p.set_defaults(func=cmd_cache)
+
+    bench_p = sub.add_parser(
+        "bench", help="performance benchmarking (see docs/BENCHMARKING.md)"
+    )
+    from repro.bench.cli import configure_parser as configure_bench_parser
+
+    configure_bench_parser(bench_p)
     return parser
 
 

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.bench``."""
+
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

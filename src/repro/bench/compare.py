@@ -1,0 +1,225 @@
+"""CI-aware comparison of two BENCH files: the perf regression gate.
+
+``repro bench compare OLD NEW`` answers one question with a clean exit
+code: *did performance regress beyond noise?*  The rules:
+
+* **Throughput** (events/sec, requests/sec) regresses when the new mean
+  falls below the old by more than an adaptive threshold:
+  ``max(--threshold, old CI relative width)`` capped at ``NOISE_CAP``.
+  A wide (noisy) baseline CI widens the tolerance; the cap guarantees a
+  genuine slowdown of more than ``NOISE_CAP`` (default 15%) can never
+  hide behind noise.
+* **Machines** — throughput is only gating when both files carry the
+  same machine fingerprint.  Cross-machine comparisons (the committed
+  baseline vs. a CI runner) demote throughput findings to warnings;
+  ``--strict`` restores gating.
+* **Determinism** — per-scenario ``events``/``requests`` are exact
+  functions of the config, identical on any machine.  A mismatch means
+  the simulated behaviour changed; it is reported as a warning (the
+  usual case: an intentional model change that needs a fresh baseline)
+  or, with ``--strict-events``, as a regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.stats import relative_width
+
+#: Ceiling on how much of the tolerance can come from baseline noise: a
+#: slowdown beyond threshold+cap always gates, however noisy the CI.
+NOISE_CAP = 0.15
+
+#: Throughput statistics that gate (wall_s is their reciprocal — skipped).
+_GATED_STATS = ("events_per_s", "requests_per_s")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome for one scenario/metric."""
+
+    scenario: str
+    metric: str
+    kind: str  # "regression" | "improvement" | "warning" | "note"
+    detail: str
+
+
+@dataclass
+class Comparison:
+    """Everything ``compare`` concluded, renderable and gateable."""
+
+    old_index: int
+    new_index: int
+    same_machine: bool
+    threshold: float
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "regression"]
+
+    @property
+    def improvements(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "improvement"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def format(self) -> str:
+        """Readable diff: verdict first, then per-finding detail."""
+        machines = (
+            "same machine"
+            if self.same_machine
+            else "different machines: throughput findings advisory"
+        )
+        lines = [
+            f"bench compare: BENCH_{self.old_index} -> BENCH_{self.new_index} "
+            f"({machines}; threshold {self.threshold:.0%}, "
+            f"noise cap {NOISE_CAP:.0%})"
+        ]
+        if not self.findings:
+            lines.append("  no differences beyond noise")
+        order = {"regression": 0, "warning": 1, "improvement": 2, "note": 3}
+        marks = {
+            "regression": "REGRESSION",
+            "improvement": "improved",
+            "warning": "warning",
+            "note": "note",
+        }
+        for finding in sorted(
+            self.findings, key=lambda f: (order[f.kind], f.scenario, f.metric)
+        ):
+            lines.append(
+                f"  [{marks[finding.kind]}] {finding.scenario}.{finding.metric}: "
+                f"{finding.detail}"
+            )
+        verdict = (
+            f"FAIL: {len(self.regressions)} regression(s)"
+            if self.regressions
+            else "OK: no regressions"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown report for CI artifacts / PR comments."""
+        lines = [
+            f"## Bench comparison: `BENCH_{self.old_index}` → "
+            f"`BENCH_{self.new_index}`",
+            "",
+            f"- machines: {'identical' if self.same_machine else 'different (throughput advisory)'}",
+            f"- threshold: {self.threshold:.0%} (noise-adaptive, capped at {NOISE_CAP:.0%})",
+            f"- verdict: {'**FAIL** — regression detected' if self.regressions else '**OK**'}",
+            "",
+        ]
+        if self.findings:
+            lines += [
+                "| scenario | metric | kind | detail |",
+                "|---|---|---|---|",
+            ]
+            for f in self.findings:
+                lines.append(
+                    f"| {f.scenario} | {f.metric} | {f.kind} | {f.detail} |"
+                )
+        else:
+            lines.append("No differences beyond noise.")
+        return "\n".join(lines) + "\n"
+
+
+def _stat_view(scenario: Dict[str, object], key: str) -> Optional[Tuple[float, float, float]]:
+    """(mean, ci_lo, ci_hi) of one stat block, or None if malformed."""
+    stat = scenario.get(key)
+    if not isinstance(stat, dict):
+        return None
+    mean = stat.get("mean")
+    ci = stat.get("ci95")
+    if not isinstance(mean, (int, float)):
+        return None
+    if isinstance(ci, list) and len(ci) == 2:
+        return float(mean), float(ci[0]), float(ci[1])
+    return float(mean), float(mean), float(mean)
+
+
+def compare_docs(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = 0.05,
+    strict: bool = False,
+    strict_events: bool = False,
+) -> Comparison:
+    """Compare two validated BENCH documents (see module docstring)."""
+    same_machine = old.get("machine") == new.get("machine")
+    gating = same_machine or strict
+    result = Comparison(
+        old_index=int(old.get("index", -1)),
+        new_index=int(new.get("index", -1)),
+        same_machine=same_machine,
+        threshold=threshold,
+    )
+    old_scenarios: Dict[str, Dict[str, object]] = old.get("scenarios", {})  # type: ignore[assignment]
+    new_scenarios: Dict[str, Dict[str, object]] = new.get("scenarios", {})  # type: ignore[assignment]
+
+    for name in old_scenarios:
+        if name not in new_scenarios:
+            result.findings.append(Finding(
+                name, "scenario", "warning", "present in old, missing in new"
+            ))
+    for name in new_scenarios:
+        if name not in old_scenarios:
+            result.findings.append(Finding(
+                name, "scenario", "note", "new scenario (no baseline)"
+            ))
+
+    for name in sorted(set(old_scenarios) & set(new_scenarios)):
+        old_s, new_s = old_scenarios[name], new_scenarios[name]
+
+        # Deterministic counts: must match bit-for-bit on unchanged code.
+        for key in ("events", "requests", "simulated_ps"):
+            old_v, new_v = old_s.get(key), new_s.get(key)
+            if old_v != new_v:
+                kind = "regression" if strict_events else "warning"
+                result.findings.append(Finding(
+                    name, key, kind,
+                    f"simulated behaviour changed: {old_v} -> {new_v} "
+                    f"(model change? regenerate the baseline)",
+                ))
+
+        # Deterministic derived metrics (latency, bandwidth, IPC).
+        old_metrics = old_s.get("metrics") or {}
+        new_metrics = new_s.get("metrics") or {}
+        if isinstance(old_metrics, dict) and isinstance(new_metrics, dict):
+            for key in sorted(set(old_metrics) & set(new_metrics)):
+                a, b = old_metrics[key], new_metrics[key]
+                if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                    if abs(a - b) > 1e-9 * max(1.0, abs(a)):
+                        result.findings.append(Finding(
+                            name, f"metrics.{key}", "note", f"{a} -> {b}"
+                        ))
+
+        # Throughput: adaptive-threshold gate.
+        for key in _GATED_STATS:
+            old_stat = _stat_view(old_s, key)
+            new_stat = _stat_view(new_s, key)
+            if old_stat is None or new_stat is None:
+                continue
+            old_mean, old_lo, old_hi = old_stat
+            new_mean, new_lo, new_hi = new_stat
+            if old_mean <= 0:
+                continue
+            ratio = new_mean / old_mean
+            noise = min(relative_width(old_lo, old_hi, old_mean), NOISE_CAP)
+            tolerance = max(threshold, noise)
+            detail = (
+                f"{old_mean:,.0f} -> {new_mean:,.0f} "
+                f"({ratio - 1:+.1%}; tolerance ±{tolerance:.0%}, "
+                f"old CI [{old_lo:,.0f}, {old_hi:,.0f}], "
+                f"new CI [{new_lo:,.0f}, {new_hi:,.0f}])"
+            )
+            if ratio < 1 - tolerance:
+                kind = "regression" if gating else "warning"
+                result.findings.append(Finding(name, key, kind, detail))
+            elif ratio > 1 + tolerance:
+                result.findings.append(Finding(name, key, "improvement", detail))
+    return result

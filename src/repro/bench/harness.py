@@ -1,0 +1,168 @@
+"""The statistical benchmark harness: trials, warmup, confidence intervals.
+
+:func:`run_scenario` executes one named scenario ``warmup + trials``
+times, drops leading trials that :func:`repro.bench.stats.detect_warmup`
+flags as cold, and reports events/sec, simulated-requests/sec and wall
+seconds with 95% bootstrap confidence intervals over the kept trials.
+
+Two invariants are enforced here rather than hoped for:
+
+* **Determinism** — every trial of a scenario must produce identical
+  event/request counts (the simulator is deterministic); a mismatch
+  aborts the bench loudly since it would mean the numbers measure two
+  different workloads.
+* **Clock isolation** — the only wall-clock reads happen through
+  :mod:`repro.bench.clock`; this module is itself lint-clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench import clock
+from repro.bench.scenarios import Scenario, ScenarioRun
+from repro.bench.stats import bootstrap_ci, detect_warmup, mean
+
+
+@dataclass(frozen=True)
+class ThroughputStat:
+    """Mean and 95% bootstrap CI over per-trial samples."""
+
+    mean: float
+    ci95: Tuple[float, float]
+    samples: Tuple[float, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mean": self.mean,
+            "ci95": [self.ci95[0], self.ci95[1]],
+            "samples": list(self.samples),
+        }
+
+
+def stat_of(samples: Sequence[float], resamples: int, seed: int = 0) -> ThroughputStat:
+    """Summarize trial samples: mean + seeded bootstrap 95% CI."""
+    lo, hi = bootstrap_ci(samples, confidence=0.95, resamples=resamples, seed=seed)
+    return ThroughputStat(
+        mean=mean(samples), ci95=(lo, hi), samples=tuple(samples)
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's measured outcome."""
+
+    name: str
+    description: str
+    instructions: int
+    trials: int
+    warmup_dropped: int
+    events: int
+    requests: int
+    simulated_ps: int
+    metrics: Dict[str, float]
+    events_per_s: ThroughputStat
+    requests_per_s: ThroughputStat
+    wall_s: ThroughputStat
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "description": self.description,
+            "instructions": self.instructions,
+            "trials": self.trials,
+            "warmup_dropped": self.warmup_dropped,
+            "events": self.events,
+            "requests": self.requests,
+            "simulated_ps": self.simulated_ps,
+            "metrics": dict(self.metrics),
+            "events_per_s": self.events_per_s.to_dict(),
+            "requests_per_s": self.requests_per_s.to_dict(),
+            "wall_s": self.wall_s.to_dict(),
+        }
+
+
+@dataclass
+class HarnessConfig:
+    """Knobs shared by every scenario in one bench run."""
+
+    instructions: int = 40_000
+    seed: int = 12345
+    trials: int = 5
+    warmup: int = 2
+    bootstrap_resamples: int = 1000
+    warmup_tolerance: float = 0.10
+    progress: Optional[Callable[[str], None]] = field(default=None, repr=False)
+
+    def quick(self) -> "HarnessConfig":
+        """The reduced-scale variant used by --quick and CI smoke runs."""
+        return HarnessConfig(
+            instructions=min(self.instructions, 8_000),
+            seed=self.seed,
+            trials=min(self.trials, 3),
+            warmup=1,
+            bootstrap_resamples=min(self.bootstrap_resamples, 300),
+            warmup_tolerance=self.warmup_tolerance,
+            progress=self.progress,
+        )
+
+
+def run_scenario(scenario: Scenario, config: HarnessConfig) -> ScenarioResult:
+    """Measure one scenario: warmup + trials, then the statistics."""
+    instructions = max(1000, round(config.instructions * scenario.insts_scale))
+    prepared = scenario.prepare(instructions, config.seed)
+    walls: List[float] = []
+    baseline: Optional[ScenarioRun] = None
+    try:
+        total = config.warmup + config.trials
+        for trial in range(total):
+            outcome, wall = clock.timed(prepared.run)
+            walls.append(wall)
+            if baseline is None:
+                baseline = outcome
+            elif (outcome.events, outcome.requests, outcome.simulated_ps) != (
+                baseline.events, baseline.requests, baseline.simulated_ps
+            ):
+                raise RuntimeError(
+                    f"scenario {scenario.name!r} is nondeterministic: trial "
+                    f"{trial} produced {outcome.events} events, expected "
+                    f"{baseline.events}"
+                )
+            if config.progress is not None:
+                config.progress(
+                    f"{scenario.name}: trial {trial + 1}/{total} "
+                    f"{outcome.events / wall:,.0f} events/s"
+                )
+    finally:
+        prepared.cleanup()
+    assert baseline is not None
+    # Drop detected cold trials, but always at least the configured warmup
+    # and never so many that fewer than two samples remain.
+    max_drop = max(config.warmup, len(walls) - max(2, config.trials - 1))
+    drop = max(
+        config.warmup,
+        detect_warmup(walls, tolerance=config.warmup_tolerance, max_drop=max_drop),
+    )
+    kept = walls[drop:]
+    resamples = config.bootstrap_resamples
+    return ScenarioResult(
+        name=scenario.name,
+        description=scenario.description,
+        instructions=instructions,
+        trials=len(kept),
+        warmup_dropped=drop,
+        events=baseline.events,
+        requests=baseline.requests,
+        simulated_ps=baseline.simulated_ps,
+        metrics=dict(baseline.metrics),
+        events_per_s=stat_of([baseline.events / w for w in kept], resamples),
+        requests_per_s=stat_of([baseline.requests / w for w in kept], resamples),
+        wall_s=stat_of(kept, resamples),
+    )
+
+
+def run_suite(
+    scenarios: Sequence[Scenario], config: HarnessConfig
+) -> List[ScenarioResult]:
+    """Run scenarios in order; failures abort (a broken bench is a bug)."""
+    return [run_scenario(scenario, config) for scenario in scenarios]

@@ -1,0 +1,135 @@
+"""The perf dashboard: BENCH trajectory + telemetry metrics, rendered.
+
+``repro bench report`` scans a directory (the repo root by default) for
+``BENCH_<n>.json`` files and renders, per scenario, the events/sec
+trajectory across bench indices — mean, 95% CI, delta versus the
+previous point and a text sparkbar — followed by the latest point's
+telemetry-derived metrics (latency, bandwidth, IPC, coverage come from
+the same :class:`~repro.telemetry.registry.MetricsRegistry` adapters
+the trace CLI uses).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.bench.schema import list_bench_files, load_bench
+
+#: Sparkbar glyph ramp (ASCII-safe fallback intentionally avoided: these
+#: render fine in CI logs and modern terminals alike).
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _spark(values: List[float]) -> str:
+    top = max(values) if values else 0.0
+    if top <= 0:
+        return " " * len(values)
+    glyphs = []
+    for value in values:
+        rank = round(value / top * (len(_BARS) - 1))
+        glyphs.append(_BARS[max(0, min(rank, len(_BARS) - 1))])
+    return "".join(glyphs)
+
+
+def trajectory(
+    root: Union[str, Path]
+) -> Dict[str, List[Tuple[int, Dict[str, object]]]]:
+    """scenario -> [(bench index, scenario block)] across all BENCH files."""
+    series: Dict[str, List[Tuple[int, Dict[str, object]]]] = {}
+    for index, path in list_bench_files(root):
+        doc = load_bench(path)
+        scenarios = doc.get("scenarios", {})
+        if not isinstance(scenarios, dict):
+            continue
+        for name, block in scenarios.items():
+            if isinstance(block, dict):
+                series.setdefault(name, []).append((index, block))
+    return series
+
+
+def _mean_of(block: Dict[str, object], key: str) -> Optional[float]:
+    stat = block.get(key)
+    if isinstance(stat, dict) and isinstance(stat.get("mean"), (int, float)):
+        return float(stat["mean"])  # type: ignore[arg-type]
+    return None
+
+
+def render_report(root: Union[str, Path], markdown: bool = False) -> str:
+    """The dashboard text (or markdown) for one BENCH directory."""
+    series = trajectory(root)
+    if not series:
+        return (
+            f"no BENCH_<n>.json files under {Path(root).resolve()} — "
+            "run `repro bench run` first"
+        )
+    lines: List[str] = []
+    if markdown:
+        lines.append("# Performance trajectory")
+        lines.append("")
+    else:
+        lines.append("performance trajectory")
+        lines.append("=" * 22)
+    for name in sorted(series):
+        points = series[name]
+        means = [m for _, block in points
+                 if (m := _mean_of(block, "events_per_s")) is not None]
+        if markdown:
+            lines.append(f"## {name}")
+            lines.append("")
+            lines.append("| bench | events/s | 95% CI | Δ prev | req/s | wall s |")
+            lines.append("|---|---|---|---|---|---|")
+        else:
+            latest_desc = points[-1][1].get("description", "")
+            lines.append("")
+            lines.append(f"{name} — {latest_desc}")
+            header = (
+                f"  {'bench':<9} {'events/s':>12} {'95% CI':>25} "
+                f"{'Δ prev':>8} {'req/s':>10} {'wall s':>8}"
+            )
+            lines.append(header)
+        previous: Optional[float] = None
+        for index, block in points:
+            mean = _mean_of(block, "events_per_s")
+            req = _mean_of(block, "requests_per_s")
+            wall = _mean_of(block, "wall_s")
+            stat = block.get("events_per_s")
+            ci = stat.get("ci95") if isinstance(stat, dict) else None
+            ci_text = (
+                f"[{ci[0]:,.0f}, {ci[1]:,.0f}]"
+                if isinstance(ci, list) and len(ci) == 2 else "-"
+            )
+            delta = (
+                f"{mean / previous - 1:+.1%}"
+                if mean is not None and previous not in (None, 0) else "-"
+            )
+            mean_text = f"{mean:,.0f}" if mean is not None else "-"
+            req_text = f"{req:,.0f}" if req is not None else "-"
+            wall_text = f"{wall:.3f}" if wall is not None else "-"
+            if markdown:
+                lines.append(
+                    f"| BENCH_{index} | {mean_text} | {ci_text} | {delta} "
+                    f"| {req_text} | {wall_text} |"
+                )
+            else:
+                lines.append(
+                    f"  BENCH_{index:<3} {mean_text:>12} {ci_text:>25} "
+                    f"{delta:>8} {req_text:>10} {wall_text:>8}"
+                )
+            previous = mean
+        if not markdown and len(means) > 1:
+            lines.append(f"  trend: {_spark(means)}")
+        # Latest point's registry-derived metrics.
+        latest = points[-1][1]
+        metrics = latest.get("metrics")
+        if isinstance(metrics, dict) and metrics:
+            pairs = ", ".join(
+                f"{key}={value}" for key, value in sorted(metrics.items())
+            )
+            if markdown:
+                lines.append("")
+                lines.append(f"latest metrics: `{pairs}`")
+                lines.append("")
+            else:
+                lines.append(f"  latest metrics: {pairs}")
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Named benchmark scenarios: what ``repro bench`` measures.
+
+Each scenario is a self-contained unit of simulator work chosen to stress
+one performance-relevant path:
+
+* ``ddr2-1ch`` — a single-channel DDR2 system, the leanest hot loop
+  (bidirectional bus, no AMB or link framing).
+* ``fbd-4ch`` — four logic channels of plain FB-DIMM: link frame
+  scheduling and the daisy chain, no prefetching.
+* ``fbd-4ch-ap`` — the same with AMB prefetching on: adds the prefetch
+  engine, AMB caches and multi-cacheline interleave.
+* ``fbd-4ch-ap-faults`` — AMB prefetching plus seeded link fault
+  injection: CRC checks, retries and replay scheduling on the hot path.
+* ``sweep-cold`` — a 4-point prefetch sweep executed through the
+  parallel runner against an empty run cache: process fan-out, simulate
+  and cache-store cost.
+* ``sweep-warm`` — the same sweep served entirely from a pre-populated
+  run cache: deserialize-and-return cost, the fast path every warm
+  ``repro experiments`` invocation takes.
+
+A scenario exposes ``prepare(instructions, seed)`` returning a
+:class:`Prepared` holding the thunk the harness times plus a cleanup
+hook; preparation (temp dirs, cache population) happens outside the
+timed region.  Thunks return a :class:`ScenarioRun` whose
+``events``/``requests``/``simulated_ps`` are deterministic functions of
+the config — identical across trials and machines — while wall time is
+what varies and gets the statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.config import (
+    SystemConfig,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.system import SimulationResult, run_system
+
+#: The timed unit of work; everything outside it is setup.
+RunThunk = Callable[[], "ScenarioRun"]
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Deterministic counts produced by one timed scenario execution."""
+
+    events: int
+    requests: int
+    simulated_ps: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Prepared:
+    """A scenario readied for timing: the thunk plus teardown."""
+
+    run: RunThunk
+    cleanup: Callable[[], None] = lambda: None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named benchmark workload."""
+
+    name: str
+    description: str
+    prepare: Callable[[int, int], "Prepared"]
+    #: Relative instruction budget multiplier (sweeps run several small
+    #: simulations, so they scale the per-run budget down).
+    insts_scale: float = 1.0
+
+
+def _requests_of(result: SimulationResult) -> int:
+    mem = result.mem
+    return mem.demand_reads + mem.sw_prefetch_reads + mem.writes
+
+
+def _collect(results: Sequence[SimulationResult]) -> ScenarioRun:
+    """Fold one-or-many results into a ScenarioRun with registry metrics."""
+    from repro.experiments.parallel import aggregate_metrics
+
+    registry = aggregate_metrics(results)
+
+    def counter(name: str) -> int:
+        metric = registry.get(name)
+        return int(metric.value) if metric is not None else 0
+
+    reads = counter("mem.demand_reads")
+    latency_sum_ps = counter("mem.demand_latency_sum_ps")
+    metrics = {
+        "sum_ipc": round(sum(sum(r.core_ipcs) for r in results), 6),
+        "avg_read_latency_ns": round(
+            latency_sum_ps / reads / 1000.0 if reads else 0.0, 3
+        ),
+        "utilized_bandwidth_gbs": round(
+            sum(r.utilized_bandwidth_gbs for r in results) / len(results), 3
+        ),
+        "prefetch_coverage": round(
+            sum(r.prefetch_coverage for r in results) / len(results), 6
+        ),
+    }
+    return ScenarioRun(
+        events=sum(r.events_fired for r in results),
+        requests=sum(_requests_of(r) for r in results),
+        simulated_ps=sum(r.elapsed_ps for r in results),
+        metrics=metrics,
+    )
+
+
+def _with_budget(config: SystemConfig, instructions: int, seed: int) -> SystemConfig:
+    return dataclasses.replace(
+        config, instructions_per_core=instructions, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-system scenarios
+# ----------------------------------------------------------------------
+
+
+def _system_scenario(
+    build: Callable[[], SystemConfig], programs: Tuple[str, ...]
+) -> Callable[[int, int], Prepared]:
+    def prepare(instructions: int, seed: int) -> Prepared:
+        config = _with_budget(build(), instructions, seed)
+
+        def run() -> ScenarioRun:
+            return _collect([run_system(config, programs)])
+
+        return Prepared(run=run)
+
+    return prepare
+
+
+# ----------------------------------------------------------------------
+# Parallel-sweep scenarios (cold vs. warm run cache)
+# ----------------------------------------------------------------------
+
+
+def _sweep_pairs(
+    instructions: int, seed: int
+) -> List[Tuple[SystemConfig, Tuple[str, ...]]]:
+    """A small prefetch-degree sweep, the shape every figure module has."""
+    programs = ("wupwise", "swim")
+    pairs = []
+    for k in (1, 2, 4, 8):
+        config = fbdimm_amb_prefetch(num_cores=2).with_prefetch(
+            region_cachelines=k
+        )
+        pairs.append((_with_budget(config, instructions, seed), programs))
+    return pairs
+
+
+def _prepare_sweep_cold(instructions: int, seed: int) -> Prepared:
+    from repro.experiments.parallel import execute_runs
+
+    pairs = _sweep_pairs(instructions, seed)
+
+    def run() -> ScenarioRun:
+        from repro.experiments.runcache import RunCache, run_key
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-cold-")
+        try:
+            cache = RunCache(tmp)
+            results = execute_runs(pairs, jobs=2)
+            for (config, programs), result in zip(pairs, results):
+                cache.store(run_key(config, programs), result)
+            return _collect(results)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    return Prepared(run=run)
+
+
+def _prepare_sweep_warm(instructions: int, seed: int) -> Prepared:
+    from repro.experiments.parallel import execute_runs
+    from repro.experiments.runcache import RunCache, run_key
+
+    pairs = _sweep_pairs(instructions, seed)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-warm-")
+    cache = RunCache(tmp)
+    for (config, programs), result in zip(pairs, execute_runs(pairs, jobs=2)):
+        cache.store(run_key(config, programs), result)
+
+    def run() -> ScenarioRun:
+        results = []
+        for config, programs in pairs:
+            result = cache.load(run_key(config, programs))
+            if result is None:  # pragma: no cover - cache corrupted mid-bench
+                raise RuntimeError("warm sweep missed the run cache")
+            results.append(result)
+        return _collect(results)
+
+    return Prepared(
+        run=run, cleanup=lambda: shutil.rmtree(tmp, ignore_errors=True)
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="ddr2-1ch",
+            description="single-channel DDR2, 2 cores (leanest hot loop)",
+            prepare=_system_scenario(
+                lambda: ddr2_baseline(num_cores=2, logic_channels=1),
+                ("wupwise", "swim"),
+            ),
+        ),
+        Scenario(
+            name="fbd-4ch",
+            description="4-channel FB-DIMM, 4 cores, no prefetch",
+            prepare=_system_scenario(
+                lambda: fbdimm_baseline(num_cores=4, logic_channels=4),
+                ("wupwise", "swim", "mgrid", "applu"),
+            ),
+        ),
+        Scenario(
+            name="fbd-4ch-ap",
+            description="4-channel FB-DIMM + AMB prefetch, 4 cores",
+            prepare=_system_scenario(
+                lambda: fbdimm_amb_prefetch(num_cores=4, logic_channels=4),
+                ("wupwise", "swim", "mgrid", "applu"),
+            ),
+        ),
+        Scenario(
+            name="fbd-4ch-ap-faults",
+            description="4-channel FB-DIMM + AMB prefetch + link faults",
+            prepare=_system_scenario(
+                lambda: fbdimm_amb_prefetch(
+                    num_cores=4, logic_channels=4
+                ).with_faults(error_rate=1e-2),
+                ("wupwise", "swim", "mgrid", "applu"),
+            ),
+        ),
+        Scenario(
+            name="sweep-cold",
+            description="4-point prefetch sweep, parallel runner, cold cache",
+            prepare=_prepare_sweep_cold,
+            insts_scale=0.5,
+        ),
+        Scenario(
+            name="sweep-warm",
+            description="4-point prefetch sweep served from a warm run cache",
+            prepare=_prepare_sweep_warm,
+            insts_scale=0.5,
+        ),
+    )
+}
+
+
+def resolve_scenarios(names: Sequence[str]) -> List[Scenario]:
+    """Look up scenarios by name, preserving order; '' or 'all' means all."""
+    wanted = [n for n in names if n]
+    if not wanted or wanted == ["all"]:
+        return list(SCENARIOS.values())
+    missing = [n for n in wanted if n not in SCENARIOS]
+    if missing:
+        raise KeyError(
+            f"unknown scenario(s) {missing}; available: {sorted(SCENARIOS)}"
+        )
+    return [SCENARIOS[n] for n in wanted]

@@ -1,0 +1,112 @@
+"""Statistics for the benchmark harness: warmup detection and bootstrap CIs.
+
+Pure functions over sample lists — no clocks, no I/O — so the analysis
+itself is deterministic and unit-testable.  The bootstrap uses a seeded
+``random.Random``, making confidence intervals reproducible given the
+same samples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not samples:
+        raise ValueError("mean of empty sequence")
+    return sum(samples) / len(samples)
+
+
+def median(samples: Sequence[float]) -> float:
+    """Median; raises on an empty sequence."""
+    if not samples:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def detect_warmup(
+    samples: Sequence[float],
+    tolerance: float = 0.10,
+    max_drop: int = -1,
+) -> int:
+    """How many leading samples to drop as warm-up.
+
+    The first trials of a benchmark pay one-off costs (imports, allocator
+    growth, cold CPU caches), inflating wall time.  A sample is considered
+    warmed up once it lies within ``tolerance`` (relative) of the median
+    of the remaining samples; everything before the first such sample is
+    warm-up.  At most ``max_drop`` samples are dropped (default: half the
+    series), so a noisy series never discards the bulk of its data.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    count = len(samples)
+    if count <= 1:
+        return 0
+    if max_drop < 0:
+        max_drop = count // 2
+    max_drop = min(max_drop, count - 1)
+    for drop in range(max_drop + 1):
+        stable = median(samples[drop:])
+        if stable == 0:
+            return drop
+        if abs(samples[drop] - stable) <= tolerance * stable:
+            return drop
+    return max_drop
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    Resamples with replacement ``resamples`` times using a seeded RNG, so
+    the interval is a deterministic function of (samples, confidence,
+    resamples, seed).  A single sample yields a degenerate [x, x]
+    interval.
+    """
+    if not samples:
+        raise ValueError("bootstrap over empty sample set")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 1:
+        raise ValueError("resamples must be >= 1")
+    values = list(samples)
+    if len(values) == 1:
+        return values[0], values[0]
+    rng = random.Random(seed)
+    count = len(values)
+    means: List[float] = []
+    for _ in range(resamples):
+        total = 0.0
+        for _ in range(count):
+            total += values[rng.randrange(count)]
+        means.append(total / count)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+
+    def percentile(p: float) -> float:
+        # Linear interpolation between closest ranks.
+        rank = p * (len(means) - 1)
+        low = int(rank)
+        high = min(low + 1, len(means) - 1)
+        frac = rank - low
+        return means[low] * (1 - frac) + means[high] * frac
+
+    return percentile(alpha), percentile(1.0 - alpha)
+
+
+def relative_width(lo: float, hi: float, center: float) -> float:
+    """CI width as a fraction of its center (0 when the center is 0)."""
+    if center == 0:
+        return 0.0
+    return (hi - lo) / abs(center)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 #: Compaction never triggers below this heap size; the rebuild is O(n) and
 #: pointless for small heaps.
@@ -37,6 +37,12 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Scheduling ancestry (chain of profiler callback sites) recorded only
+    #: while an :class:`~repro.engine.profiler.EventLoopProfiler` is
+    #: attached; None otherwise, costing nothing on unprofiled runs.
+    origin: Optional[Tuple[str, ...]] = field(
+        default=None, compare=False, repr=False
+    )
     #: Back-reference so cancel() can keep the queue's live counter exact;
     #: detached (None) once the event has been popped.
     _queue: Optional["EventQueue"] = field(

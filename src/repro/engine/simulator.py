@@ -45,11 +45,17 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` picoseconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.queue.push(self.now + delay, callback)
+        event = self.queue.push(self.now + delay, callback)
+        if self.profiler is not None:
+            event.origin = self.profiler.origin_stack()
+        return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time, clamped to not-before-now."""
-        return self.queue.push(max(time, self.now), callback)
+        event = self.queue.push(max(time, self.now), callback)
+        if self.profiler is not None:
+            event.origin = self.profiler.origin_stack()
+        return event
 
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""
@@ -77,7 +83,7 @@ class Simulator:
             assert event is not None
             self.now = event.time
             if profiler is not None:
-                profiler.time_call(event.callback)
+                profiler.time_call(event.callback, event.origin or ())
             else:
                 event.callback()
             self.events_fired += 1

@@ -41,6 +41,7 @@ _EMITTED_PHASES = {"M", "X", "i", "b", "e", "n"}
 _PID_REQUESTS = 1
 _PID_DIMM_BASE = 100
 _PID_LINKS_BASE = 2000
+_PID_PROFILER = 3000
 
 
 @dataclass
@@ -315,6 +316,35 @@ def chrome_trace(capture: TelemetryCapture) -> Dict[str, object]:
                 "args": {"frames": frames},
             })
 
+    # -- event-loop profiler attribution track --------------------------
+    # Wall-time stacks from the EventLoopProfiler, rendered as one
+    # synthetic thread per subsystem bucket with stacks packed end to end
+    # (timestamps here are accumulated wall microseconds, not model time).
+    stack_records = [r for r in capture.profile if "stack" in r]
+    if stack_records:
+        ensure_process(_PID_PROFILER, "event-loop profiler (wall time)")
+        subsystem_tids: Dict[str, int] = {}
+        offsets: Dict[int, float] = {}
+        for record in stack_records:
+            stack = [str(frame) for frame in record.get("stack", [])]
+            if not stack:
+                continue
+            subsystem = str(record.get("subsystem", "other"))
+            tid = subsystem_tids.setdefault(subsystem, len(subsystem_tids))
+            ensure_thread(_PID_PROFILER, tid, subsystem)
+            wall_us = float(record.get("wall_s", 0.0)) * 1e6
+            start = offsets.get(tid, 0.0)
+            offsets[tid] = start + wall_us
+            events.append({
+                "ph": "X", "name": stack[-1], "cat": "profile",
+                "pid": _PID_PROFILER, "tid": tid,
+                "ts": start, "dur": wall_us,
+                "args": {
+                    "stack": ";".join(stack),
+                    "events": int(record.get("events", 0)),
+                },
+            })
+
     events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))  # type: ignore[index]
     metadata: List[Dict[str, object]] = []
     for pid in sorted(named_pids):
@@ -471,10 +501,26 @@ def summarize_capture(capture: TelemetryCapture, top_sites: int = 10) -> str:
             else:
                 lines.append(f"  {name}: {snap.get('value')}")
 
-    if capture.profile:
+    site_records = [s for s in capture.profile if "site" in s]
+    if site_records:
+        subsystems: Dict[str, float] = {}
+        for record in site_records:
+            name = str(record.get("subsystem", "other"))
+            subsystems[name] = subsystems.get(name, 0.0) + float(
+                record.get("wall_s", 0.0)
+            )
+        total_wall = sum(subsystems.values())
+        if total_wall > 0:
+            shares = ", ".join(
+                f"{name} {wall / total_wall:.0%}"
+                for name, wall in sorted(
+                    subsystems.items(), key=lambda item: -item[1]
+                )
+            )
+            lines.append(f"subsystem wall time: {shares}")
         lines.append(f"event-loop profile (top {top_sites} by wall time):")
         ranked = sorted(
-            capture.profile,
+            site_records,
             key=lambda s: (-float(s.get("wall_s", 0.0)), str(s.get("site", ""))),
         )
         for site in ranked[:top_sites]:

@@ -87,7 +87,10 @@ def record_capture(args: argparse.Namespace) -> TelemetryCapture:
         tracer,
         check_events=machine.controller.collect_check_events(),
         samples=sampler.to_records() if sampler is not None else None,
-        profile=profiler.to_records() if profiler is not None else None,
+        profile=(
+            profiler.to_records() + profiler.stack_records()
+            if profiler is not None else None
+        ),
     )
 
 

@@ -1,0 +1,191 @@
+"""Metric merge semantics and parallel-runner aggregation.
+
+Counters sum, histograms merge bucket-wise (exactly equivalent to
+observing both sample streams), gauges take the incoming value, and
+``execute_runs(..., metrics=registry)`` folds per-worker registries into
+one — identically at any job count.  Also pins the ``summarize_capture``
+edge cases: empty capture, only-retry-phase spans, ``top_sites`` larger
+than the site count.
+"""
+
+import pytest
+
+from repro.telemetry.export import TelemetryCapture, summarize_capture
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import RequestTrace
+
+
+class TestCounterMerge:
+    def test_counters_sum(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+        assert b.value == 4  # source untouched
+
+    def test_merging_zero_is_identity(self):
+        a = Counter("c")
+        a.inc(5)
+        a.merge(Counter("c"))
+        assert a.value == 5
+
+
+class TestGaugeMerge:
+    def test_last_write_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.5)
+        b.set(9.0)
+        a.merge(b)
+        assert a.value == 9.0
+
+
+class TestHistogramMerge:
+    def test_merge_equals_observing_both_streams(self):
+        left, right, combined = (
+            Histogram("h"), Histogram("h"), Histogram("h")
+        )
+        first = [0, 1, 2, 3, 100, 5_000]
+        second = [7, 7, 900_000, 2]
+        for v in first:
+            left.observe(v)
+            combined.observe(v)
+        for v in second:
+            right.observe(v)
+            combined.observe(v)
+        left.merge(right)
+        assert left.snapshot() == combined.snapshot()
+
+    def test_merge_into_empty(self):
+        empty, full = Histogram("h"), Histogram("h")
+        for v in (10, 20, 30):
+            full.observe(v)
+        empty.merge(full)
+        assert empty.snapshot() == full.snapshot()
+        # And the other direction: merging an empty histogram changes nothing.
+        before = full.snapshot()
+        full.merge(Histogram("h"))
+        assert full.snapshot() == before
+
+    def test_min_max_combine(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(50)
+        b.observe(5)
+        b.observe(500)
+        a.merge(b)
+        assert (a.min, a.max, a.count) == (5, 500, 3)
+
+
+class TestRegistryMerge:
+    def test_creates_missing_and_folds_existing(self):
+        ours, theirs = MetricsRegistry(), MetricsRegistry()
+        ours.counter("shared").inc(1)
+        theirs.counter("shared").inc(2)
+        theirs.counter("theirs.only", "docs").inc(7)
+        theirs.histogram("lat").observe(100)
+        theirs.gauge("bw").set(3.5)
+        ours.merge(theirs)
+        assert ours.counter("shared").value == 3
+        assert ours.counter("theirs.only").value == 7
+        assert ours.counter("theirs.only").help == "docs"
+        assert ours.histogram("lat").count == 1
+        assert ours.gauge("bw").value == 3.5
+
+    def test_type_conflict_raises(self):
+        ours, theirs = MetricsRegistry(), MetricsRegistry()
+        ours.counter("x")
+        theirs.gauge("x")
+        with pytest.raises(TypeError, match="already registered"):
+            ours.merge(theirs)
+
+
+class TestParallelAggregation:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        import dataclasses
+
+        from repro.config import fbdimm_amb_prefetch
+
+        pairs = []
+        for k in (2, 4):
+            config = fbdimm_amb_prefetch(num_cores=2).with_prefetch(
+                region_cachelines=k
+            )
+            config = dataclasses.replace(
+                config, instructions_per_core=3_000, seed=7
+            )
+            pairs.append((config, ("swim", "mgrid")))
+        return pairs
+
+    def test_serial_and_parallel_aggregates_match(self, pairs):
+        from repro.experiments.parallel import execute_runs
+
+        serial, parallel = MetricsRegistry(), MetricsRegistry()
+        execute_runs(pairs, jobs=1, metrics=serial)
+        execute_runs(pairs, jobs=2, metrics=parallel)
+        assert serial.snapshot() == parallel.snapshot()
+        # The merged registry really is the fold, not the last worker.
+        from repro.system import run_system
+        from repro.telemetry.registry import registry_from_stats
+
+        expected = sum(
+            registry_from_stats(run_system(c, p).mem)
+            .counter("mem.demand_reads").value
+            for c, p in pairs
+        )
+        assert serial.counter("mem.demand_reads").value == expected
+
+    def test_aggregate_metrics_returns_fresh_registry(self, pairs):
+        from repro.experiments.parallel import aggregate_metrics, execute_runs
+
+        results = execute_runs(pairs, jobs=1)
+        merged = aggregate_metrics(results)
+        assert isinstance(merged, MetricsRegistry)
+        assert merged.counter("mem.demand_reads").value > 0
+
+
+class TestSummarizeCaptureEdges:
+    def test_empty_capture(self):
+        text = summarize_capture(TelemetryCapture())
+        assert "0 request traces" in text
+        # No completed requests, samples, metrics or profile sections.
+        assert "latency ns:" not in text
+        assert "event-loop profile" not in text
+
+    def test_only_retry_phase_spans(self):
+        # A trace that saw a link retry but never completed: it must not
+        # reach the latency histograms (latency_ps is undefined) and the
+        # completed count stays zero.
+        trace = RequestTrace(req_id=1, kind="read", core_id=0, line_addr=64)
+        trace.mark("retry", 1_000)
+        capture = TelemetryCapture(requests=[trace])
+        text = summarize_capture(capture)
+        assert "1 request traces" in text
+        assert "completed:" not in text
+        assert "latency ns:" not in text
+
+    def test_top_sites_larger_than_site_count(self):
+        capture = TelemetryCapture(
+            profile=[
+                {"site": "a.b", "subsystem": "cpu", "events": 3,
+                 "wall_s": 0.002},
+                {"site": "c.d", "subsystem": "dram", "events": 1,
+                 "wall_s": 0.001},
+                {"stack": ["a.b", "c.d"], "subsystem": "dram", "events": 1,
+                 "wall_s": 0.001},
+            ]
+        )
+        text = summarize_capture(capture, top_sites=50)
+        assert "a.b" in text and "c.d" in text
+        site_lines = [line for line in text.splitlines() if " ms" in line]
+        assert len(site_lines) == 2  # stack records not double-listed
+        assert "subsystem wall time: cpu 67%, dram 33%" in text
+
+    def test_zero_wall_profile_has_no_share_line(self):
+        capture = TelemetryCapture(
+            profile=[{"site": "a.b", "subsystem": "cpu", "events": 1,
+                      "wall_s": 0.0}]
+        )
+        text = summarize_capture(capture)
+        assert "subsystem wall time" not in text
+        assert "a.b" in text
