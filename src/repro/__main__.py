@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.analysis.latency import LatencyDistribution
 from repro.analysis.report import run_report
@@ -33,6 +33,11 @@ from repro.config import (
 from repro.system import System
 from repro.workloads.multiprog import SINGLE_CORE, WORKLOADS, workload_programs
 
+if TYPE_CHECKING:
+    from repro.engine.profiler import EventLoopProfiler
+    from repro.system import SimulationResult
+    from repro.telemetry import Tracer
+
 SYSTEMS = ("ddr2", "fbd", "fbd-ap")
 
 ASSOCIATIVITIES = {
@@ -43,7 +48,7 @@ ASSOCIATIVITIES = {
 }
 
 
-def _build_config(args, system: str) -> SystemConfig:
+def _build_config(args: argparse.Namespace, system: str) -> SystemConfig:
     programs = workload_programs(args.workload)
     cores = len(programs)
     if system == "ddr2":
@@ -65,7 +70,12 @@ def _build_config(args, system: str) -> SystemConfig:
     )
 
 
-def _run_one(args, system: str, tracer=None, profiler=None):
+def _run_one(
+    args: argparse.Namespace,
+    system: str,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[EventLoopProfiler] = None,
+) -> Tuple[System, SimulationResult]:
     programs = workload_programs(args.workload)
     config = _build_config(args, system)
     machine = System(config, programs, tracer=tracer)
@@ -76,7 +86,7 @@ def _run_one(args, system: str, tracer=None, profiler=None):
     return machine, machine.run()
 
 
-def cmd_run(args) -> int:
+def cmd_run(args: argparse.Namespace) -> int:
     tracer = None
     if args.trace_out:
         from repro.telemetry import Tracer
@@ -112,7 +122,7 @@ def cmd_run(args) -> int:
     return 0
 
 
-def _compare_results(args):
+def _compare_results(args: argparse.Namespace) -> List[SimulationResult]:
     """One result per system, fanned out across --jobs processes."""
     if args.jobs > 1 and not args.latency:
         from repro.experiments.parallel import execute_runs
@@ -123,7 +133,7 @@ def _compare_results(args):
     return [_run_one(args, system)[1] for system in SYSTEMS]
 
 
-def cmd_compare(args) -> int:
+def cmd_compare(args: argparse.Namespace) -> int:
     print(f"workload {args.workload}, {args.insts} instructions/core\n")
     header = (
         f"{'system':<8} {'sum IPC':>8} {'latency':>9} {'bandwidth':>10} "
@@ -147,7 +157,7 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_list(_args) -> int:
+def cmd_list(_args: argparse.Namespace) -> int:
     print("programs (single-core workloads):")
     print(" ", ", ".join(SINGLE_CORE))
     print("\nmultiprogrammed workloads (Table 3):")
@@ -166,9 +176,9 @@ SWEEP_AXES = {
 }
 
 
-def _parse_axes(specs) -> dict:
+def _parse_axes(specs: List[str]) -> Dict[str, List[object]]:
     """Parse ["k=2,4,8", "rate=667,800"] into {"k": [2,4,8], ...}."""
-    axes = {}
+    axes: Dict[str, List[object]] = {}
     for spec in specs:
         if "=" not in spec:
             raise SystemExit(f"bad axis {spec!r}; expected name=v1,v2,...")
@@ -186,7 +196,7 @@ def _parse_axes(specs) -> dict:
     return axes
 
 
-def cmd_sweep(args) -> int:
+def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.charts import bar_chart
     from repro.experiments.runner import ExperimentContext
     from repro.experiments.sweep import Sweep
@@ -195,7 +205,8 @@ def cmd_sweep(args) -> int:
     programs = workload_programs(args.workload)
     cores = len(programs)
 
-    def build(k=4, entries=64, assoc="full", rate=667, channels=2):
+    def build(k: int = 4, entries: int = 64, assoc: str = "full",
+              rate: int = 667, channels: int = 2) -> SystemConfig:
         prefetch = AmbPrefetchConfig(
             region_cachelines=k,
             cache_entries=entries,
@@ -227,7 +238,7 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_faults(args) -> int:
+def cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.sweep import fault_sweep, format_sweep
 
     if args.system == "ddr2":
@@ -261,7 +272,7 @@ def cmd_faults(args) -> int:
     return 0
 
 
-def cmd_cache(args) -> int:
+def cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments.runcache import RunCache
 
     cache = RunCache(args.cache_dir)
@@ -286,7 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_run_args(p):
+    def add_run_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", default="4C-1",
                        help="a program name or a Table 3 mix (see 'list')")
         p.add_argument("--insts", type=int, default=50_000)
@@ -368,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
 

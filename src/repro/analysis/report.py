@@ -62,10 +62,22 @@ def run_report(result: SimulationResult) -> str:
         f"(queueing {metrics.average_queue_delay_ns(mem):.1f} ns), "
         f"utilised bandwidth {result.utilized_bandwidth_gbs:.2f} GB/s"
     )
+    all_reads = mem.total_reads
+    if all_reads:
+        lines.append(
+            f"  avg latency over all reads incl. sw-prefetch "
+            f"{mem.read_latency_sum_ps / all_reads / 1000:.1f} ns"
+        )
     lines.append(
         f"  DRAM ops: {mem.activates} ACT/PRE pairs, "
         f"{mem.column_accesses} column accesses"
     )
+    row_refs = mem.row_hits + mem.row_misses
+    if row_refs:
+        lines.append(
+            f"  row buffer: {mem.row_hits} hits, {mem.row_misses} misses "
+            f"({mem.row_hits / row_refs:.1%} hit rate)"
+        )
     if prefetch.enabled:
         lines.append(
             f"  AMB cache: coverage {result.prefetch_coverage:.1%}, "
@@ -74,7 +86,8 @@ def run_report(result: SimulationResult) -> str:
         )
     if cfg.faults.enabled:
         lines.append(
-            f"  faults: {mem.faults_corrupted} corrupted transfers "
+            f"  faults: {mem.faults_injected} injected, "
+            f"{mem.faults_corrupted} corrupted transfers "
             f"({mem.faults_retried_ok} retried ok, {mem.faults_dropped} "
             f"dropped), {mem.amb_parity_errors} parity errors, "
             f"{mem.fault_retry_latency_ps / 1000:.1f} ns retry latency, "

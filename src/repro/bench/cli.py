@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.bench.compare import compare_docs
 from repro.bench.harness import HarnessConfig, ScenarioResult, run_suite
@@ -32,7 +32,9 @@ from repro.bench.schema import (
 from repro.bench.scenarios import SCENARIOS, resolve_scenarios
 
 
-def _guarded(func):
+def _guarded(
+    func: Callable[[argparse.Namespace], int],
+) -> Callable[[argparse.Namespace], int]:
     """Turn I/O and schema errors into exit code 2 regardless of whether
     the command is reached via ``python -m repro bench`` or
     ``python -m repro.bench``."""

@@ -192,11 +192,11 @@ def compare_docs(
         if isinstance(old_metrics, dict) and isinstance(new_metrics, dict):
             for key in sorted(set(old_metrics) & set(new_metrics)):
                 a, b = old_metrics[key], new_metrics[key]
-                if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-                    if abs(a - b) > 1e-9 * max(1.0, abs(a)):
-                        result.findings.append(Finding(
-                            name, f"metrics.{key}", "note", f"{a} -> {b}"
-                        ))
+                if (isinstance(a, (int, float)) and isinstance(b, (int, float))
+                        and abs(a - b) > 1e-9 * max(1.0, abs(a))):
+                    result.findings.append(Finding(
+                        name, f"metrics.{key}", "note", f"{a} -> {b}"
+                    ))
 
         # Throughput: adaptive-threshold gate.
         for key in _GATED_STATS:

@@ -71,7 +71,7 @@ class FbdimmLinks:
         hops = (dimm + 1) if self.vrl else self.n_dimms
         return hops * self.hop_ps
 
-    def send_command(self, earliest: int) -> int:
+    def send_command_ps(self, earliest: int) -> int:
         """Send one command south; return its arrival at the AMB.
 
         Under fault injection a CRC-corrupted command frame is replayed
@@ -92,7 +92,7 @@ class FbdimmLinks:
         start = self.south.reserve_command(earliest, retry=retry)
         return start, start + self.frame_ps
 
-    def send_write(self, earliest: int, dimm: int) -> int:
+    def send_write_ps(self, earliest: int, dimm: int) -> int:
         """Stream a command + a cacheline of write data south.
 
         The command rides in the first data frame (1 command + 16 B per

@@ -175,7 +175,7 @@ class SouthboundLink:
     def _first_index_at(self, earliest: int) -> int:
         return -(-earliest // self.frame_ps)  # ceil division
 
-    def frame_start(self, index: int) -> int:
+    def frame_start_ps(self, index: int) -> int:
         return index * self.frame_ps
 
     # -- allocation ---------------------------------------------------------
@@ -200,7 +200,7 @@ class SouthboundLink:
                 state[0] += 1
                 break
             index += 1
-        start = self.frame_start(index)
+        start = self.frame_start_ps(index)
         if self.journal is not None:
             self.journal.append(("cmd", start, retry))
         return start
@@ -230,11 +230,11 @@ class SouthboundLink:
                 index += 1
                 continue
             if first_start is None:
-                first_start = self.frame_start(index)
+                first_start = self.frame_start_ps(index)
             if self.journal is not None:
-                self.journal.append(("data", self.frame_start(index), retry))
+                self.journal.append(("data", self.frame_start_ps(index), retry))
             placed += 1
-            last_end = self.frame_start(index) + self.frame_ps
+            last_end = self.frame_start_ps(index) + self.frame_ps
             index += 1
         assert first_start is not None
         return first_start, last_end
@@ -290,7 +290,7 @@ class NorthboundLink:
     def _first_index_at(self, earliest: int) -> int:
         return max(0, -(-(earliest - self.phase_ps) // self.frame_ps))
 
-    def frame_start(self, index: int) -> int:
+    def frame_start_ps(self, index: int) -> int:
         return index * self.frame_ps + self.phase_ps
 
     def reserve_line(
@@ -309,7 +309,7 @@ class NorthboundLink:
                 for k in range(frames_needed):
                     self._taken[index + k] = True
                 self.frames_used += frames_needed
-                start = self.frame_start(index)
+                start = self.frame_start_ps(index)
                 if self.journal is not None:
                     self.journal.append(("line", start, frames_needed, retry))
                 return start, start + frames_needed * self.frame_ps
@@ -323,7 +323,7 @@ class NorthboundLink:
         stale = [
             idx
             for idx in self._taken
-            if self.frame_start(idx) + self.frame_ps <= time_ps
+            if self.frame_start_ps(idx) + self.frame_ps <= time_ps
         ]
         for idx in stale:
             del self._taken[idx]

@@ -4,19 +4,24 @@ Three independent passes (see ``docs/CHECKING.md``):
 
 * :mod:`repro.check.protocol` — validates DDR2 command traces and FB-DIMM
   frame journals against the Table 2 timing constraints;
-* :mod:`repro.check.determinism` — AST lint flagging nondeterminism
-  hazards in simulator code (wall clocks, unseeded ``random``, set
-  iteration, float arithmetic on picosecond times);
+* :mod:`repro.check.lint` — the static-analysis engine: a plugin rule
+  registry running the determinism rules (wall clocks, unseeded
+  ``random``, set iteration, float arithmetic on picosecond times) plus
+  unit-flow, worker shared-state, counter-drift and strict-typing
+  analyses (``docs/STATIC_ANALYSIS.md``);
+* :mod:`repro.check.determinism` — thin shim keeping the PR-1
+  determinism-only entry points stable;
 * :mod:`repro.check.config_audit` — cross-field consistency checks on
   :class:`~repro.config.SystemConfig` with actionable messages.
 
-Run offline with ``python -m repro.check trace.jsonl`` (plus ``--lint`` /
+Run offline with ``python -m repro.check trace.jsonl`` (plus ``lint`` /
 ``--audit-configs`` / ``--self-test``), or at runtime with
 ``SystemConfig(check_protocol=True)``.
 """
 
 from repro.check.config_audit import AuditIssue, audit_memory, audit_system
 from repro.check.determinism import LintFinding, lint_source, lint_tree
+from repro.check.lint import Finding, LintEngine, ProjectRule, Rule, all_rules
 from repro.check.protocol import (
     ProtocolChecker,
     ProtocolViolationError,
@@ -32,11 +37,16 @@ from repro.check.trace import (
 __all__ = [
     "AuditIssue",
     "CheckEvent",
+    "Finding",
+    "LintEngine",
     "LintFinding",
+    "ProjectRule",
     "ProtocolChecker",
     "ProtocolViolationError",
+    "Rule",
     "TraceParams",
     "Violation",
+    "all_rules",
     "audit_memory",
     "audit_system",
     "lint_source",

@@ -5,9 +5,13 @@ Modes (combinable; default with no flags is trace checking):
 * ``python -m repro.check trace.jsonl [...]`` — protocol-check saved
   command traces (written by ``SystemConfig(check_protocol=True)`` runs
   or by hand; see :mod:`repro.check.trace` for the format);
-* ``--self-test`` — run the golden known-bad trace suite;
-* ``--lint [PATH ...]`` — determinism lint (defaults to the installed
-  ``repro`` sources);
+* ``python -m repro.check lint [PATH ...]`` — the full static-analysis
+  engine (determinism + unit-flow + shared-state + counter-drift +
+  strict-typing rules; see :mod:`repro.check.lint.cli` for its options);
+* ``--self-test`` — run the golden known-bad suites (seeded protocol
+  traces and seeded lint fixtures);
+* ``--lint [PATH ...]`` — the four legacy determinism rules only
+  (defaults to the installed ``repro`` sources);
 * ``--audit-configs`` — cross-field audit of the standard factory
   configurations.
 
@@ -23,6 +27,7 @@ from typing import List
 
 from repro.check.config_audit import audit_system, errors_only
 from repro.check.determinism import lint_file, lint_tree, repro_source_root
+from repro.check.lint.selftest import run_self_test as run_lint_self_test
 from repro.check.protocol import ProtocolChecker
 from repro.check.selftest import run_self_test
 from repro.check.trace import load_events
@@ -99,6 +104,9 @@ def _run_audit() -> int:
 
 def _run_self_test() -> int:
     count, failures = run_self_test()
+    lint_count, lint_failures = run_lint_self_test()
+    count += lint_count
+    failures = list(failures) + list(lint_failures)
     for failure in failures:
         print(f"FAIL {failure}")
     print(f"self-test: {count} cases, {len(failures)} failure(s)")
@@ -106,6 +114,14 @@ def _run_self_test() -> int:
 
 
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The full rule engine has its own CLI (baseline, JSON, rule
+        # selection); everything below is the legacy flag interface.
+        from repro.check.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.check",
         description="DDR2/FB-DIMM protocol checker and simulator lints",

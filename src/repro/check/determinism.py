@@ -1,63 +1,46 @@
-"""Determinism lint: AST pass flagging nondeterminism hazards.
+"""Determinism lint — thin shim over the :mod:`repro.check.lint` engine.
 
-The simulator's reproducibility contract (same config + seed → bit-identical
-results) survives only if model code never consults sources of run-to-run
-variation.  This pass walks the AST of every module under ``src/repro`` and
-flags:
+The four original rules (``wall-clock``, ``unseeded-random``,
+``set-iteration``, ``float-time``) now live on the plugin framework in
+:mod:`repro.check.lint.rules.determinism`; this module keeps the PR-1
+entry points (``lint_source`` / ``lint_file`` / ``lint_tree``) and their
+golden outputs byte-identical for existing callers, CI invocations and
+tests.  New code should use the engine directly — it runs these rules
+plus the unit-flow, shared-state, counter-drift and strict-typing
+analyses (``python -m repro.check lint``).
 
-* ``wall-clock`` — calls to ``time.time`` / ``time.monotonic`` /
-  ``time.perf_counter`` / ``datetime.now`` and friends; simulated time is
-  the only clock model code may read;
-* ``unseeded-random`` — module-level ``random`` functions
-  (``random.random()``, ``random.shuffle()``, ...), which share hidden
-  global state; use an explicit ``random.Random(seed)`` instance instead.
-  The ``workloads`` package is exempt from the instance requirement only in
-  that its generators seed their own ``Random`` objects;
-* ``set-iteration`` — ``for``/comprehension iteration directly over a set
-  literal or ``set(...)``/``frozenset(...)`` call: set order varies with
-  hash seeding, so feeding it into event scheduling reorders events;
-* ``float-time`` — inside the integer-picosecond hot path (``engine``,
-  ``dram``, ``channel``, ``controller``): true division of a picosecond
-  value by a non-picosecond value, or multiplication of a picosecond value
-  by a float constant, outside ``round()``/``int()``.  ``timing.py``
-  promises the hot path never touches floats; this enforces it.
-
-A finding is suppressed when its source line carries a ``# det: allow``
-comment — use it where the hazard is deliberate and harmless, e.g.
-wall-clock progress reporting in the experiment driver.
+A finding is suppressed by the legacy ``# det: allow`` line comment or
+the framework's ``# repro: ignore[rule-id]`` syntax.
 """
 
 from __future__ import annotations
 
-import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
-#: Wall-clock callables, as dotted names rooted at the module.
-_WALL_CLOCK = {
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-}
+from repro.check.lint.core import Finding, LintEngine, ModuleContext, get_rule
+from repro.check.lint.rules.determinism import SUPPRESS_MARK
 
-#: ``random`` module attributes that are legitimate without an instance.
-_RANDOM_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+__all__ = [
+    "DETERMINISM_RULE_IDS",
+    "LintFinding",
+    "SUPPRESS_MARK",
+    "lint_file",
+    "lint_source",
+    "lint_tree",
+    "repro_source_root",
+]
 
-#: Packages whose time values must stay integer picoseconds.
-_HOT_PACKAGES = ("engine", "dram", "channel", "controller")
-
-#: Identifier endings that denote a picosecond quantity.
-_PS_SUFFIXES = ("_ps", "_time")
-_PS_NAMES = {"now", "clock", "burst", "time_ps", "earliest", "deadline"}
-
-SUPPRESS_MARK = "det: allow"
+#: The four ported rules this shim runs, in registration order.
+DETERMINISM_RULE_IDS = (
+    "wall-clock", "unseeded-random", "set-iteration", "float-time",
+)
 
 
 @dataclass(frozen=True)
 class LintFinding:
-    """One determinism hazard at a source location."""
+    """One determinism hazard at a source location (legacy shape)."""
 
     path: str
     line: int
@@ -68,179 +51,15 @@ class LintFinding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def _dotted_name(node: ast.AST) -> Optional[str]:
-    """Resolve ``a.b.c`` attribute chains to a dotted string."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
+def _engine() -> LintEngine:
+    return LintEngine([get_rule(rule_id) for rule_id in DETERMINISM_RULE_IDS])
 
 
-def _is_ps_name(node: ast.AST) -> bool:
-    """Whether an expression names a picosecond-typed value."""
-    if isinstance(node, ast.Attribute):
-        name = node.attr
-    elif isinstance(node, ast.Name):
-        name = node.id
-    else:
-        return False
-    if name in _PS_NAMES or name.endswith(_PS_SUFFIXES):
-        return True
-    # Table 2 timing attributes: tRCD, tRP, tWTR, ... (TimingPs fields).
-    return len(name) >= 3 and name[0] == "t" and name[1:].isupper()
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, module_rel: str, source_lines: Sequence[str]) -> None:
-        self.path = path
-        self.lines = source_lines
-        self.findings: List[LintFinding] = []
-        #: local alias -> canonical dotted name (import tracking)
-        self.aliases: Dict[str, str] = {}
-        parts = Path(module_rel).parts
-        self.in_workloads = "workloads" in parts
-        self.in_hot_path = any(pkg in parts for pkg in _HOT_PACKAGES)
-        self._rounded_depth = 0
-
-    # -- plumbing --------------------------------------------------------
-
-    def _suppressed(self, node: ast.AST) -> bool:
-        line_no = getattr(node, "lineno", 0)
-        if 1 <= line_no <= len(self.lines):
-            return SUPPRESS_MARK in self.lines[line_no - 1]
-        return False
-
-    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
-        if self._suppressed(node):
-            return
-        self.findings.append(
-            LintFinding(
-                path=self.path, line=getattr(node, "lineno", 0),
-                rule=rule, message=message,
-            )
-        )
-
-    def _canonical(self, node: ast.AST) -> Optional[str]:
-        """Canonical dotted name of a call target, following imports."""
-        dotted = _dotted_name(node)
-        if dotted is None:
-            return None
-        head, _, rest = dotted.partition(".")
-        head = self.aliases.get(head, head)
-        return f"{head}.{rest}" if rest else head
-
-    # -- imports ---------------------------------------------------------
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self.aliases[alias.asname or alias.name.split(".")[0]] = (
-                alias.name if alias.asname else alias.name.split(".")[0]
-            )
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module:
-            for alias in node.names:
-                self.aliases[alias.asname or alias.name] = (
-                    f"{node.module}.{alias.name}"
-                )
-        self.generic_visit(node)
-
-    # -- calls: wall clocks, unseeded random, round() tracking -----------
-
-    def visit_Call(self, node: ast.Call) -> None:
-        target = self._canonical(node.func)
-        if target in _WALL_CLOCK:
-            self._flag(
-                node, "wall-clock",
-                f"call to {target}(): simulator code must use simulated "
-                "time, not the host clock",
-            )
-        elif target is not None and target.startswith("random."):
-            attr = target.split(".", 1)[1]
-            if attr not in _RANDOM_OK and not self.in_workloads:
-                self._flag(
-                    node, "unseeded-random",
-                    f"module-level random.{attr}() uses hidden global "
-                    "state; use an explicit random.Random(seed) instance",
-                )
-        if (
-            isinstance(node.func, ast.Name)
-            and node.func.id in ("round", "int")
-        ):
-            self._rounded_depth += 1
-            self.generic_visit(node)
-            self._rounded_depth -= 1
-            return
-        self.generic_visit(node)
-
-    # -- set iteration -----------------------------------------------------
-
-    def _check_iterable(self, iterable: ast.AST) -> None:
-        is_set = isinstance(iterable, ast.Set) or (
-            isinstance(iterable, ast.Call)
-            and isinstance(iterable.func, ast.Name)
-            and iterable.func.id in ("set", "frozenset")
-        )
-        if is_set:
-            self._flag(
-                iterable, "set-iteration",
-                "iterating a set: order varies with hash seeding; sort it "
-                "(or use a list/dict) before anything order-sensitive",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iterable(node.iter)
-        self.generic_visit(node)
-
-    def visit_comprehension_generators(self, generators) -> None:
-        for gen in generators:
-            self._check_iterable(gen.iter)
-
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self.visit_comprehension_generators(node.generators)
-        self.generic_visit(node)
-
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self.visit_comprehension_generators(node.generators)
-        self.generic_visit(node)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self.visit_comprehension_generators(node.generators)
-        self.generic_visit(node)
-
-    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self.visit_comprehension_generators(node.generators)
-        self.generic_visit(node)
-
-    # -- float arithmetic on picosecond values ----------------------------
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        if self.in_hot_path and self._rounded_depth == 0:
-            if isinstance(node.op, ast.Div) and _is_ps_name(node.left):
-                if not _is_ps_name(node.right):
-                    self._flag(
-                        node, "float-time",
-                        "true division of a picosecond value yields a "
-                        "float; the hot path is integer-ps — use // or "
-                        "wrap in round()/int() at config time",
-                    )
-            elif isinstance(node.op, ast.Mult):
-                operands = (node.left, node.right)
-                if any(_is_ps_name(op) for op in operands) and any(
-                    isinstance(op, ast.Constant) and isinstance(op.value, float)
-                    for op in operands
-                ):
-                    self._flag(
-                        node, "float-time",
-                        "float-constant scaling of a picosecond value; "
-                        "wrap in round()/int() or precompute an integer",
-                    )
-        self.generic_visit(node)
+def _downgrade(findings: List[Finding]) -> List[LintFinding]:
+    return [
+        LintFinding(path=f.path, line=f.line, rule=f.rule, message=f.message)
+        for f in findings
+    ]
 
 
 def lint_source(
@@ -251,19 +70,12 @@ def lint_source(
 
     A file that does not parse cannot be vouched for, so a syntax error
     is reported as a finding rather than raised."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [LintFinding(
-            path=path, line=exc.lineno or 0, rule="syntax-error",
-            message=f"file does not parse: {exc.msg}",
-        )]
-    visitor = _Visitor(path, module_rel or path, source.splitlines())
-    visitor.visit(tree)
-    return visitor.findings
+    ctx = ModuleContext(path, module_rel or path, source)
+    return _downgrade(_engine().run([ctx]))
 
 
-def lint_file(path: Union[str, Path], root: Optional[Path] = None) -> List[LintFinding]:
+def lint_file(path: Union[str, Path],
+              root: Optional[Path] = None) -> List[LintFinding]:
     """Lint one file on disk."""
     path = Path(path)
     rel = str(path.relative_to(root)) if root else str(path)

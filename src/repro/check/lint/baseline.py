@@ -1,0 +1,124 @@
+"""Committed-baseline workflow: grandfather old findings, gate new ones.
+
+A baseline is a JSON file listing findings that are known and accepted.
+``diff_against_baseline`` matches the current findings against it as a
+multiset keyed on ``(path, rule, message)`` — line numbers are excluded
+so unrelated edits that shift code do not invalidate the baseline — and
+returns what is *new* (gates the exit code) and which baseline entries
+are *stale* (fixed; should be removed so the file never rots).
+
+The repo commits ``lint-baseline.json`` at the root; the CI ``lint-deep``
+job fails on any finding not in it.  The intended steady state is an
+empty baseline: fix or suppress findings instead of baselining them, and
+use the baseline only to land the gate before a large cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.check.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def save_baseline(path: Union[str, Path],
+                  findings: Sequence[Finding]) -> None:
+    """Write the findings as an accepted baseline (sorted, stable)."""
+    records = [f.to_record() for f in sorted(
+        findings, key=lambda f: (f.path, f.line, f.rule, f.message)
+    )]
+    payload = {"version": BASELINE_VERSION, "findings": records}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> "Counter[_Key]":
+    """Load a baseline into its matching multiset.
+
+    Raises ``ValueError`` for malformed or wrong-version files — a
+    corrupt baseline must fail the gate loudly, not silently accept
+    everything.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"baseline {path}: expected a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        raise ValueError(f"baseline {path}: 'findings' must be a list")
+    keys: "Counter[_Key]" = Counter()
+    for record in findings:
+        if not isinstance(record, dict):
+            raise ValueError(f"baseline {path}: finding entries must be objects")
+        try:
+            keys[(str(record["path"]), str(record["rule"]),
+                  str(record["message"]))] += 1
+        except KeyError as exc:
+            raise ValueError(
+                f"baseline {path}: finding entry missing {exc}"
+            ) from exc
+    return keys
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: "Counter[_Key]"
+) -> Tuple[List[Finding], List[_Key]]:
+    """(new findings not in the baseline, stale baseline keys).
+
+    Matching is multiset-aware: a baseline entry absorbs at most as many
+    findings as its count, so a *second* occurrence of a baselined
+    defect still gates.
+    """
+    budget = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return new, stale
+
+
+def report_payload(
+    findings: Sequence[Finding],
+    new: Sequence[Finding],
+    stale: Sequence[_Key],
+    rules: Sequence[Tuple[str, str, str]],
+) -> Dict[str, object]:
+    """The machine-readable report (schema pinned by the tests)."""
+    by_severity: Dict[str, int] = {}
+    for finding in findings:
+        by_severity[finding.severity] = by_severity.get(finding.severity, 0) + 1
+    return {
+        "version": BASELINE_VERSION,
+        "rules": {
+            rule_id: {"severity": severity, "description": description}
+            for rule_id, severity, description in rules
+        },
+        "findings": [f.to_record() for f in findings],
+        "new_findings": [f.to_record() for f in new],
+        "stale_baseline": [list(key) for key in stale],
+        "summary": {
+            "total": len(findings),
+            "new": len(new),
+            "stale_baseline": len(stale),
+            "by_severity": by_severity,
+        },
+    }

@@ -1,0 +1,259 @@
+"""Counter-drift analysis: every stats field must be fed and exported.
+
+:class:`repro.stats.collector.MemSystemStats` is the single source of the
+paper's reported quantities.  A field drifts in two ways:
+
+* **orphaned** — nothing increments it any more (a refactor moved the
+  accounting and the field silently reads zero forever);
+* **unexported** — it is incremented but never surfaced, so telemetry and
+  the run report diverge from what the simulator actually measured.
+
+Three rules, each anchored at the field's declaration line in the
+collector module:
+
+* ``stat-no-increment`` — no write site anywhere in the project updates
+  the field with a non-constant value (reset-to-zero assignments in the
+  collector do not count);
+* ``stat-unreported`` — neither the field nor a collector property
+  derived from it is read by the report path (any ``analysis/`` module or
+  ``stats/metrics.py``);
+* ``stat-unregistered`` — neither the field nor a derived property is
+  read by :func:`repro.telemetry.registry_from_stats`
+  (``telemetry/registry.py``), so parallel-run aggregation and JSONL
+  exports drop it.
+
+Fields consumed through a property (``elapsed_ps`` covers
+``first_activity_ps``/``last_activity_ps``; ``total_reads`` covers the
+read counters) are credited when the *property* is read.  Export checks
+run only when the respective surface module is part of the lint run, so
+linting a file subset never produces spurious orphans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.check.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    register,
+)
+
+#: Where the stats dataclass lives and which class to introspect.
+COLLECTOR_REL = "stats/collector.py"
+COLLECTOR_CLASS = "MemSystemStats"
+
+#: The run-report export surface (modules whose reads count as reported).
+REPORT_SURFACE = ("analysis/", "stats/metrics.py")
+
+#: The telemetry export surface.
+REGISTRY_REL = "telemetry/registry.py"
+REGISTRY_FUNC = "registry_from_stats"
+
+#: Method calls that count as feeding a container-typed field.
+_FEEDING_METHODS = {"append", "setdefault", "add", "update", "__setitem__"}
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _stat_fields(cls: ast.ClassDef) -> Dict[str, int]:
+    """Dataclass field name -> declaration line."""
+    fields: Dict[str, int] = {}
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                          ast.Name):
+            fields[node.target.id] = node.lineno
+    return fields
+
+
+def _property_aliases(cls: ast.ClassDef,
+                      fields: Dict[str, int]) -> Dict[str, Set[str]]:
+    """field -> {property names whose body reads it} (export credit)."""
+    aliases: Dict[str, Set[str]] = {name: set() for name in fields}
+    for node in cls.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        is_property = any(
+            (isinstance(dec, ast.Name) and dec.id == "property")
+            or (isinstance(dec, ast.Attribute) and dec.attr in
+                ("property", "cached_property"))
+            for dec in node.decorator_list
+        )
+        if not is_property:
+            continue
+        for child in ast.walk(node):
+            if isinstance(child, ast.Attribute) and child.attr in fields:
+                aliases[child.attr].add(node.name)
+    return aliases
+
+
+def _is_reset_value(value: ast.AST) -> bool:
+    """Constant zero/None/-1 or an empty container literal (reset, not feed)."""
+    if isinstance(value, ast.Constant):
+        return value.value in (0, -1, None)
+    if isinstance(value, ast.UnaryOp) and isinstance(value.op, ast.USub):
+        return isinstance(value.operand, ast.Constant)
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return not getattr(value, "keys", None) and not getattr(
+            value, "elts", None
+        )
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else ""
+        return name in ("list", "dict", "set") and not value.args
+    return False
+
+
+def _attribute_stores(tree: ast.Module, fields: Dict[str, int]) -> Set[str]:
+    """Fields written with a non-reset value anywhere in a module."""
+    fed: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Attribute) and target.attr in fields:
+                fed.add(target.attr)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr in fields \
+                        and not _is_reset_value(node.value):
+                    fed.add(target.attr)
+                if isinstance(target, ast.Subscript):
+                    inner = target.value
+                    if isinstance(inner, ast.Attribute) \
+                            and inner.attr in fields:
+                        fed.add(inner.attr)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _FEEDING_METHODS:
+                receiver = func.value
+                if isinstance(receiver, ast.Attribute) \
+                        and receiver.attr in fields:
+                    fed.add(receiver.attr)
+    return fed
+
+
+def _attribute_reads(node: ast.AST, names: Set[str]) -> Set[str]:
+    """Which of ``names`` are read as attributes anywhere under ``node``."""
+    seen: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr in names:
+            seen.add(child.attr)
+    return seen
+
+
+@register
+class CounterDriftRule(ProjectRule):
+    """Umbrella project rule emitting the three ``stat-*`` findings.
+
+    One registry entry per finding id keeps suppression and selection
+    per-id; this class is registered three times through the subclasses
+    below, each filtering the shared analysis to its own id.
+    """
+
+    id = "stat-no-increment"
+    severity = "error"
+    description = (
+        "a MemSystemStats field with no non-reset write site anywhere in "
+        "the project (the counter silently reads zero forever)"
+    )
+    _emit = "stat-no-increment"
+
+    def check_project(
+        self, ctxs: Sequence[ModuleContext]
+    ) -> Iterable[Finding]:
+        collector = next(
+            (ctx for ctx in ctxs if ctx.rel == COLLECTOR_REL), None
+        )
+        if collector is None or collector.tree is None:
+            return ()
+        cls = _find_class(collector.tree, COLLECTOR_CLASS)
+        if cls is None:
+            return ()
+        fields = _stat_fields(cls)
+        aliases = _property_aliases(cls, fields)
+
+        findings: List[Finding] = []
+        if self._emit == "stat-no-increment":
+            fed: Set[str] = set()
+            for ctx in ctxs:
+                if ctx.tree is not None and not ctx.is_test_code:
+                    fed |= _attribute_stores(ctx.tree, fields)
+            for name, line in sorted(fields.items()):
+                if name not in fed:
+                    findings.append(self.finding(
+                        collector, line,
+                        f"{COLLECTOR_CLASS}.{name} has no increment/write "
+                        "site: the counter can only ever read its default",
+                    ))
+            return findings
+
+        if self._emit == "stat-unreported":
+            surface = [
+                ctx for ctx in ctxs
+                if ctx.tree is not None and (
+                    ctx.rel.startswith(REPORT_SURFACE[0])
+                    or ctx.rel == REPORT_SURFACE[1]
+                )
+            ]
+            label = "the report path (analysis/ or stats/metrics.py)"
+        else:
+            surface = [
+                ctx for ctx in ctxs
+                if ctx.tree is not None and ctx.rel == REGISTRY_REL
+            ]
+            label = f"{REGISTRY_FUNC} (telemetry/registry.py)"
+        if not surface:
+            return ()
+
+        read: Set[str] = set()
+        searchable = set(fields)
+        for names in aliases.values():
+            searchable |= names
+        for ctx in surface:
+            assert ctx.tree is not None
+            scope: ast.AST = ctx.tree
+            if self._emit == "stat-unregistered":
+                for node in ctx.tree.body:
+                    if isinstance(node, ast.FunctionDef) \
+                            and node.name == REGISTRY_FUNC:
+                        scope = node
+                        break
+            read |= _attribute_reads(scope, searchable)
+        for name, line in sorted(fields.items()):
+            credited = {name} | aliases[name]
+            if not credited & read:
+                findings.append(self.finding(
+                    collector, line,
+                    f"{COLLECTOR_CLASS}.{name} is never exported through "
+                    f"{label}: telemetry and paper figures can drift",
+                ))
+        return findings
+
+
+@register
+class StatUnreportedRule(CounterDriftRule):
+    id = "stat-unreported"
+    description = (
+        "a MemSystemStats field (or a property derived from it) never "
+        "read by the report path (analysis/ modules or stats/metrics.py)"
+    )
+    _emit = "stat-unreported"
+
+
+@register
+class StatUnregisteredRule(CounterDriftRule):
+    id = "stat-unregistered"
+    description = (
+        "a MemSystemStats field (or a property derived from it) never "
+        "read by registry_from_stats (telemetry/registry.py)"
+    )
+    _emit = "stat-unregistered"

@@ -1,0 +1,295 @@
+"""Shared-state analysis: worker processes must not mutate module globals.
+
+``repro.experiments.parallel`` fans independent runs out across a
+``ProcessPoolExecutor``.  Its correctness contract — a worker's result is
+bit-identical to the same run executed inline — holds only if worker code
+is a pure function of its pickled inputs.  Module-level mutable state
+breaks that silently: with ``fork`` the mutation leaks *between runs in
+the same worker*, with ``spawn`` it diverges from the inline path, and
+either way results depend on run-to-worker placement.
+
+The rule builds the intra-``repro`` import graph from the linted modules,
+seeds it at the worker entry module (``experiments/parallel.py``) and
+computes the transitive closure of modules a worker can execute.  Inside
+that closure it flags, per module:
+
+* ``global NAME`` rebinding of a module-level name from a function body;
+* in-place mutation of a module-level mutable container (assignment or
+  deletion through ``NAME[...]``, and mutating method calls such as
+  ``NAME.append`` / ``NAME.update`` / ``NAME.setdefault``), whether
+  through the local name or through an ``imported_module.NAME`` attribute.
+
+Imports guarded by ``if TYPE_CHECKING:`` never execute and contribute no
+edges.  Module-level *initialisation* of constants is fine — only writes
+reachable from function bodies are flagged.  When the worker entry module
+is not part of the lint run (linting a file subset) the rule stays
+silent; the self-test fixtures pin that it fires on a whole project.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.check.lint.core import (
+    Finding,
+    ModuleContext,
+    ProjectRule,
+    register,
+)
+
+#: Module whose imports seed worker-reachability (the ProcessPool entry).
+WORKER_ENTRY_REL = "experiments/parallel.py"
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "appendleft", "extendleft",
+    "sort", "reverse",
+}
+
+#: Constructor names whose result is module-level mutable state.
+_MUTABLE_FACTORIES = {
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+}
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == "TYPE_CHECKING":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING":
+            return True
+    return False
+
+
+def _runtime_imports(tree: ast.Module) -> List[str]:
+    """Dotted module names imported at runtime (TYPE_CHECKING excluded)."""
+    imports: List[str] = []
+
+    def walk(nodes: Sequence[ast.stmt]) -> None:
+        for node in nodes:
+            if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+                walk(node.orelse)
+                continue
+            if isinstance(node, ast.Import):
+                imports.extend(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module:
+                    imports.append(node.module)
+                    # ``from repro.x import y`` may pull submodule y.
+                    imports.extend(
+                        f"{node.module}.{alias.name}" for alias in node.names
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                walk(node.body)
+            elif isinstance(node, (ast.If, ast.For, ast.While, ast.With,
+                                   ast.Try)):
+                walk(getattr(node, "body", []))
+                walk(getattr(node, "orelse", []))
+                walk(getattr(node, "finalbody", []))
+                for handler in getattr(node, "handlers", []):
+                    walk(handler.body)
+
+    walk(tree.body)
+    return imports
+
+
+def _module_level_mutables(tree: ast.Module) -> Dict[str, int]:
+    """Module-level names bound to mutable containers -> def line."""
+    mutables: Dict[str, int] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: ast.expr
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        mutable = isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                     ast.ListComp, ast.DictComp,
+                                     ast.SetComp))
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            mutable = name in _MUTABLE_FACTORIES
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables[target.id] = node.lineno
+    return mutables
+
+
+def _base_name(node: ast.AST) -> Tuple[str, str]:
+    """(module-alias, name) for ``NAME`` or ``alias.NAME`` expressions."""
+    if isinstance(node, ast.Name):
+        return "", node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id, node.attr
+    return "", ""
+
+
+class _MutationVisitor(ast.NodeVisitor):
+    """Finds function-body writes to module-level mutable names."""
+
+    def __init__(
+        self,
+        rule: "WorkerSharedStateRule",
+        ctx: ModuleContext,
+        local_mutables: Set[str],
+        imported_mutables: Dict[str, Set[str]],
+    ) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.local_mutables = local_mutables
+        self.imported_mutables = imported_mutables
+        self.findings: List[Finding] = []
+        self._function_depth = 0
+
+    def _is_shared(self, node: ast.AST) -> Tuple[bool, str]:
+        alias, name = _base_name(node)
+        if not name:
+            return False, ""
+        if not alias:
+            return name in self.local_mutables, name
+        shared = name in self.imported_mutables.get(alias, set())
+        return shared, f"{alias}.{name}"
+
+    def _flag(self, node: ast.AST, name: str, how: str) -> None:
+        self.findings.append(self.rule.finding(
+            self.ctx, node,
+            f"{how} of module-level mutable {name!r} in worker-reachable "
+            "code: ProcessPool workers must be pure functions of their "
+            "pickled inputs (pass state in, return state out)",
+        ))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._function_depth:
+            for name in node.names:
+                self._flag(node, name, "'global' rebinding")
+        self.generic_visit(node)
+
+    def _check_store_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            shared, name = self._is_shared(target.value)
+            if shared:
+                self._flag(target, name, "item/attribute write")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._function_depth:
+            for target in node.targets:
+                self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._function_depth:
+            self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if self._function_depth:
+            for target in node.targets:
+                self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (self._function_depth and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS):
+            shared, name = self._is_shared(node.func.value)
+            if shared:
+                self._flag(node, name, f".{node.func.attr}() mutation")
+        self.generic_visit(node)
+
+
+@register
+class WorkerSharedStateRule(ProjectRule):
+    id = "worker-shared-state"
+    severity = "error"
+    description = (
+        "module-level mutable state written from code reachable by the "
+        "experiments.parallel ProcessPool worker entry points"
+    )
+
+    def check_project(
+        self, ctxs: Sequence[ModuleContext]
+    ) -> Iterable[Finding]:
+        by_module: Dict[str, ModuleContext] = {}
+        for ctx in ctxs:
+            name = ctx.module_name
+            if name is not None:
+                by_module[name] = ctx
+
+        entry = next(
+            (ctx for ctx in ctxs if ctx.rel == WORKER_ENTRY_REL), None
+        )
+        if entry is None or entry.module_name is None:
+            return ()
+
+        # Transitive closure of runtime imports, restricted to the
+        # modules actually present in this lint run.
+        reachable: Set[str] = set()
+        frontier = [entry.module_name]
+        while frontier:
+            current = frontier.pop()
+            if current in reachable:
+                continue
+            reachable.add(current)
+            ctx = by_module.get(current)
+            if ctx is None or ctx.tree is None:
+                continue
+            for imported in _runtime_imports(ctx.tree):
+                for candidate in (imported, f"{imported}.__init__"):
+                    if candidate in by_module and candidate not in reachable:
+                        frontier.append(candidate)
+                # Importing repro.a.b executes repro.a's __init__ too.
+                parts = imported.split(".")
+                for depth in range(1, len(parts)):
+                    parent = ".".join(parts[:depth])
+                    if parent in by_module and parent not in reachable:
+                        frontier.append(parent)
+
+        # Per-module mutable globals, then alias table for cross-module
+        # ``import x as y; y.STATE[...] = ...`` writes.
+        mutables: Dict[str, Dict[str, int]] = {}
+        for name in reachable:
+            ctx = by_module.get(name)
+            if ctx is not None and ctx.tree is not None:
+                mutables[name] = _module_level_mutables(ctx.tree)
+
+        findings: List[Finding] = []
+        for name in sorted(reachable):
+            ctx = by_module.get(name)
+            if ctx is None or ctx.tree is None:
+                continue
+            imported_mutables: Dict[str, Set[str]] = {}
+            for stmt in ast.walk(ctx.tree):
+                if isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        target = alias.name
+                        if target in mutables:
+                            local = alias.asname or target.split(".")[0]
+                            imported_mutables.setdefault(local, set()).update(
+                                mutables[target]
+                            )
+            visitor = _MutationVisitor(
+                self, ctx, set(mutables.get(name, {})), imported_mutables
+            )
+            visitor.visit(ctx.tree)
+            findings.extend(visitor.findings)
+        return findings

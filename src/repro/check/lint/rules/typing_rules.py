@@ -1,0 +1,68 @@
+"""Strict-typing rule: every ``def`` in ``src/repro`` is fully annotated.
+
+CI runs mypy with ``disallow_untyped_defs`` over the whole package; this
+AST rule enforces the same contract from inside the lint engine, so the
+gate also runs where mypy is not installed and the self-test suite can
+pin it.  A function is flagged when its return type or any parameter
+annotation (``self``/``cls`` excepted) is missing.  Lambdas are exempt,
+matching mypy.  Test and benchmark code is out of scope — the strict
+surface is the shipped package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Union
+
+from repro.check.lint.core import Finding, ModuleContext, Rule, register
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _missing_annotations(node: _FunctionNode) -> List[str]:
+    """Parameter names lacking annotations, plus ``return`` if absent."""
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args]
+    missing: List[str] = []
+    for index, arg in enumerate(ordered):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"*{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"**{args.kwarg.arg}")
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class UntypedDefRule(Rule):
+    id = "untyped-def"
+    severity = "error"
+    description = (
+        "a function in src/repro missing parameter or return annotations "
+        "(the package-wide mypy disallow_untyped_defs contract)"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.is_test_code:
+            return ()
+        assert ctx.tree is not None
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing = _missing_annotations(node)
+            if missing:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"def {node.name}() is missing annotations for: "
+                    + ", ".join(missing),
+                ))
+        return findings

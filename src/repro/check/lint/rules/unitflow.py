@@ -1,0 +1,237 @@
+"""Unit-flow analysis: picoseconds, nanoseconds and clock cycles must not mix.
+
+The simulator's time base is integer picoseconds; configuration values are
+nanoseconds (converted once through :func:`repro.engine.simulator.ns`) and
+device parameters are sometimes expressed in DRAM clock cycles.  A unit is
+inferred for an expression from lexical conventions:
+
+* identifier suffixes — ``*_ps`` (also ``*_time``) is picoseconds,
+  ``*_ns`` is nanoseconds, ``*_cycles``/``*_clocks``/``*_cyc`` is cycles;
+* timing-table fields — ``tRCD``-style attributes are picoseconds on a
+  :class:`~repro.dram.timing.TimingPs` bundle and nanoseconds on the
+  config-side :class:`~repro.config.DramTimings`; by repo convention the
+  ns-side bundle is always named ``timings`` (plural), so ``timings.tRCD``
+  is ns and any other ``*.tRCD`` is ps;
+* conversions — a call to ``ns(...)`` yields picoseconds (that is the
+  converter's whole job); any other call is unit-opaque.
+
+Flow rules (scoped to the hot timing packages ``engine``/``dram``/
+``channel``):
+
+* ``unit-mix`` (error) — ``+``/``-``/``%`` or a comparison between two
+  expressions of *different known* units, or assignment of a known unit
+  into a target whose suffix names a different unit;
+* ``unit-return`` (warning) — a function whose name carries a unit suffix
+  returning an expression of a different known unit, or a ``return`` of a
+  unit-suffixed name from a function whose own name carries no unit
+  (unit-less returns launder the unit out of the hot path).
+
+Multiplication and division are unit-transforming (``cycles * clock_ps``
+is picoseconds) and are never flagged here; the ``float-time`` rule owns
+the float hazards on those operators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.check.lint.core import Finding, ModuleContext, Rule, register
+
+#: Packages whose timing arithmetic is checked.
+_HOT_PACKAGES = ("engine", "dram", "channel")
+
+#: suffix -> unit.  Order matters: longest match first.
+_SUFFIX_UNITS = (
+    ("_cycles", "cycles"),
+    ("_clocks", "cycles"),
+    ("_time", "ps"),
+    ("_cyc", "cycles"),
+    ("_ps", "ps"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+)
+
+#: Callables that convert into picoseconds.
+_PS_CONVERTERS = {"ns"}
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """Unit implied by an identifier, or None."""
+    for suffix, unit in _SUFFIX_UNITS:
+        if name.endswith(suffix) and name != suffix.lstrip("_"):
+            return unit
+    return None
+
+
+def _timing_field(name: str) -> bool:
+    """``tRCD``-style Table 2 timing attribute names."""
+    return len(name) >= 3 and name[0] == "t" and name[1:].isupper()
+
+
+def unit_of(node: ast.AST) -> Optional[str]:
+    """Infer the time unit of an expression, or None when unknown."""
+    if isinstance(node, ast.Name):
+        if _timing_field(node.id):
+            return "ps"
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        if _timing_field(node.attr):
+            # Convention: the ns-side DramTimings bundle is named
+            # ``timings``; every other holder carries the ps-side TimingPs.
+            base = node.value
+            base_name = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else ""
+            )
+            return "ns" if base_name == "timings" else "ps"
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        func_name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if func_name in _PS_CONVERTERS:
+            return "ps"
+        return unit_of_name(func_name)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            left, right = unit_of(node.left), unit_of(node.right)
+            return left if left is not None else right
+        return None  # * and / transform units; opaque here
+    if isinstance(node, (ast.UnaryOp,)):
+        return unit_of(node.operand)
+    if isinstance(node, ast.IfExp):
+        body, orelse = unit_of(node.body), unit_of(node.orelse)
+        return body if body is not None else orelse
+    return None
+
+
+class _UnitVisitor(ast.NodeVisitor):
+    def __init__(self, rule: Rule, ctx: ModuleContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def _mix(self, node: ast.AST, left: str, right: str, what: str) -> None:
+        self.findings.append(self.rule.finding(
+            self.ctx, node,
+            f"{what} mixes time units: {left} vs {right}; convert at the "
+            "boundary (ns() / integer cycle scaling), not mid-expression",
+        ))
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            left, right = unit_of(node.left), unit_of(node.right)
+            if left is not None and right is not None and left != right:
+                op = {ast.Add: "+", ast.Sub: "-", ast.Mod: "%"}[type(node.op)]
+                self._mix(node, left, right, f"'{op}' arithmetic")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        units = [unit_of(item) for item in (node.left, *node.comparators)]
+        known = [unit for unit in units if unit is not None]
+        if len(set(known)) > 1:
+            self._mix(node, known[0], known[1], "comparison")
+        self.generic_visit(node)
+
+    def _check_assign(self, target: ast.AST, value: ast.AST,
+                      node: ast.AST) -> None:
+        target_unit = unit_of(target)
+        value_unit = unit_of(value)
+        if (
+            target_unit is not None and value_unit is not None
+            and target_unit != value_unit
+        ):
+            self._mix(node, value_unit, target_unit,
+                      "assignment into a unit-suffixed name")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assign(target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_assign(node.target, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            self._check_assign(node.target, node.value, node)
+        self.generic_visit(node)
+
+
+@register
+class UnitMixRule(Rule):
+    id = "unit-mix"
+    severity = "error"
+    description = (
+        "+/-/% arithmetic, comparison, or assignment between expressions "
+        "whose names imply different time units (ps/ns/cycles) on the hot "
+        "timing paths (engine/dram/channel)"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(*_HOT_PACKAGES):
+            return ()
+        assert ctx.tree is not None
+        visitor = _UnitVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings
+
+
+class _ReturnVisitor(ast.NodeVisitor):
+    def __init__(self, rule: Rule, ctx: ModuleContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def _check_function(self, node: ast.AST) -> None:
+        name = getattr(node, "name", "")
+        declared = unit_of_name(name)
+        for child in ast.walk(node):  # type: ignore[arg-type]
+            if not isinstance(child, ast.Return) or child.value is None:
+                continue
+            returned = unit_of(child.value)
+            if declared is not None and returned is not None \
+                    and returned != declared:
+                self.findings.append(self.rule.finding(
+                    self.ctx, child,
+                    f"function {name}() declares {declared} by suffix but "
+                    f"returns a {returned} expression",
+                ))
+            elif declared is None and returned is not None \
+                    and unit_of_name(name) is None and name:
+                self.findings.append(self.rule.finding(
+                    self.ctx, child,
+                    f"function {name}() returns a {returned} value but its "
+                    "name carries no unit suffix; name it so callers know "
+                    f"the unit (e.g. {name}_{returned}())",
+                ))
+
+
+@register
+class UnitReturnRule(Rule):
+    id = "unit-return"
+    severity = "warning"
+    description = (
+        "a hot-path function whose name carries a unit suffix returning a "
+        "different unit, or returning a unit-suffixed value from a "
+        "function whose name carries none"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_packages(*_HOT_PACKAGES):
+            return ()
+        assert ctx.tree is not None
+        visitor = _ReturnVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        return visitor.findings

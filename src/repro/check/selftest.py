@@ -15,6 +15,7 @@ from typing import List, Tuple
 
 from repro.check.protocol import ProtocolChecker, Violation
 from repro.check.trace import CheckEvent, TraceParams, default_params
+from repro.dram.timing import TimingPs
 
 
 @dataclass(frozen=True)
@@ -35,7 +36,8 @@ def _fbd() -> TraceParams:
     return default_params("fbdimm")
 
 
-def _legal_read(t0: int, timing, bank: int = 0, row: int = 5) -> List[CheckEvent]:
+def _legal_read(t0: int, timing: TimingPs,
+                bank: int = 0, row: int = 5) -> List[CheckEvent]:
     """A protocol-legal close-page read burst starting at ``t0``."""
     act = t0
     rd = act + timing.tRCD

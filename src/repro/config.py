@@ -414,11 +414,11 @@ class SystemConfig:
                 "memory.kind must be FBDIMM when faults.enabled"
             )
 
-    def with_memory(self, **changes) -> "SystemConfig":
+    def with_memory(self, **changes: object) -> "SystemConfig":
         """Return a copy with the memory config fields replaced."""
         return replace(self, memory=replace(self.memory, **changes))
 
-    def with_prefetch(self, **changes) -> "SystemConfig":
+    def with_prefetch(self, **changes: object) -> "SystemConfig":
         """Return a copy with the AMB-prefetch config fields replaced."""
         prefetch = replace(self.memory.prefetch, **changes)
         memory = replace(self.memory, prefetch=prefetch)
@@ -426,11 +426,11 @@ class SystemConfig:
             memory = replace(memory, interleave=InterleaveScheme.MULTI_CACHELINE)
         return replace(self, memory=memory)
 
-    def with_cpu(self, **changes) -> "SystemConfig":
+    def with_cpu(self, **changes: object) -> "SystemConfig":
         """Return a copy with the CPU config fields replaced."""
         return replace(self, cpu=replace(self.cpu, **changes))
 
-    def with_faults(self, **changes) -> "SystemConfig":
+    def with_faults(self, **changes: object) -> "SystemConfig":
         """Return a copy with the fault-injection config fields replaced.
 
         ``with_faults(error_rate=1e-6)`` implies ``enabled=True`` unless
@@ -457,7 +457,7 @@ class SystemConfig:
         return decode_value(raw, cls)
 
 
-def ddr2_baseline(num_cores: int = 1, **memory_overrides) -> SystemConfig:
+def ddr2_baseline(num_cores: int = 1, **memory_overrides: object) -> SystemConfig:
     """The paper's DDR2 reference system: cacheline interleave, close page."""
     memory = MemoryConfig(
         kind=MemoryKind.DDR2,
@@ -469,7 +469,7 @@ def ddr2_baseline(num_cores: int = 1, **memory_overrides) -> SystemConfig:
     return SystemConfig(cpu=CpuConfig(num_cores=num_cores), memory=memory)
 
 
-def fbdimm_baseline(num_cores: int = 1, **memory_overrides) -> SystemConfig:
+def fbdimm_baseline(num_cores: int = 1, **memory_overrides: object) -> SystemConfig:
     """Plain FB-DIMM without AMB prefetching (FBD in the figures)."""
     memory = MemoryConfig(
         kind=MemoryKind.FBDIMM,
@@ -484,7 +484,7 @@ def fbdimm_baseline(num_cores: int = 1, **memory_overrides) -> SystemConfig:
 def fbdimm_amb_prefetch(
     num_cores: int = 1,
     prefetch: Optional[AmbPrefetchConfig] = None,
-    **memory_overrides,
+    **memory_overrides: object,
 ) -> SystemConfig:
     """FB-DIMM with AMB prefetching (FBD-AP): multi-cacheline interleave
     and close page by default; both may be overridden (e.g. page

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional
+from typing import TYPE_CHECKING, Deque, Iterable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dram.bank import Bank
     from repro.telemetry.spans import Tracer
 
 from repro.channel.amb import Amb
@@ -130,7 +131,7 @@ class ChannelControllerBase:
             self.stats.note_activity(now)
             self._issue(req)
 
-    def _start_refresh(self, rank_banks) -> None:
+    def _start_refresh(self, rank_banks: Sequence[Sequence[Bank]]) -> None:
         """Arm periodic all-bank refresh per rank, staggered across ranks.
 
         Off by default (refresh_interval_ns == 0).  Note: once armed, the
@@ -147,7 +148,7 @@ class ChannelControllerBase:
         for index, banks in enumerate(rank_banks):
             offset = (interval * index) // max(1, len(rank_banks))
 
-            def loop(banks=banks) -> None:
+            def loop(banks: Sequence[Bank] = banks) -> None:
                 for bank in banks:
                     bank.refresh(self.sim.now, trfc)
                 self.sim.schedule(interval, lambda: loop(banks))
@@ -185,7 +186,8 @@ class ChannelControllerBase:
 
     # -- protocol-checker support ------------------------------------------
 
-    def _bank_check_events(self, dimm_id: int, banks) -> "list":
+    def _bank_check_events(self, dimm_id: int,
+                           banks: Iterable[Bank]) -> "list":
         """Convert the banks' command logs into checker events."""
         from repro.check.trace import CheckEvent
 
@@ -271,10 +273,9 @@ class Ddr2ChannelController(ChannelControllerBase):
 
     def _issue(self, req: MemoryRequest) -> None:
         dimm = self.dimms[req.mapped.dimm]
-        if req.kind is RequestKind.WRITE:
-            result = dimm.write_line(self.sim.now, req.mapped)
-        else:
-            result = dimm.read_line(self.sim.now, req.mapped)
+        result = (dimm.write_line(self.sim.now, req.mapped)
+                  if req.kind is RequestKind.WRITE
+                  else dimm.read_line(self.sim.now, req.mapped))
         req.row_hit = result.row_hit
         if self.tracer is not None:
             self.tracer.on_data(req, result.data_starts[0])
@@ -418,9 +419,9 @@ class FbdimmChannelController(ChannelControllerBase):
 
     def _is_hit(self, req: MemoryRequest) -> bool:
         amb = self._amb_for(req)
-        if self._prefetch_active() and req.kind.is_read:
-            if self._probe_cache(amb, req.line_addr) is not None:
-                return True
+        if (self._prefetch_active() and req.kind.is_read
+                and self._probe_cache(amb, req.line_addr) is not None):
+            return True
         return amb.bank_of(req.mapped).is_row_hit(req.mapped.row)
 
     # -- issue paths ---------------------------------------------------------
@@ -451,7 +452,7 @@ class FbdimmChannelController(ChannelControllerBase):
             pending = self.mc_pending.get(region)
             if pending is not None:
                 pending.pop(req.line_addr, None)
-        arrival = self.links.send_write(self.sim.now, req.mapped.dimm)
+        arrival = self.links.send_write_ps(self.sim.now, req.mapped.dimm)
         result = amb.write_line(arrival, req.mapped)
         req.row_hit = result.row_hit
         if self.tracer is not None:
@@ -460,7 +461,7 @@ class FbdimmChannelController(ChannelControllerBase):
 
     def _issue_read_plain(self, req: MemoryRequest) -> None:
         amb = self._amb_for(req)
-        arrival = self.links.send_command(self.sim.now)
+        arrival = self.links.send_command_ps(self.sim.now)
         result = amb.read_line(arrival, req.mapped)
         req.row_hit = result.row_hit
         if self.tracer is not None:
@@ -474,7 +475,7 @@ class FbdimmChannelController(ChannelControllerBase):
             return
         amb = self._amb_for(req)
         available = amb.cache_lookup(req.line_addr)
-        arrival = self.links.send_command(self.sim.now)
+        arrival = self.links.send_command_ps(self.sim.now)
         if available is not None:
             req.amb_hit = True
             # FBD-APFL charges the hit the tRCD + tCL a miss would pay; it
@@ -521,7 +522,7 @@ class FbdimmChannelController(ChannelControllerBase):
             return
 
         amb = self._amb_for(req)
-        arrival = self.links.send_command(self.sim.now)
+        arrival = self.links.send_command_ps(self.sim.now)
         order = amb.group_order(req.line_addr)
         result = amb.group_read(arrival, req.mapped, order)
         if self.tracer is not None:
@@ -540,7 +541,7 @@ class FbdimmChannelController(ChannelControllerBase):
             self.mc_pending[region] = fills
             last_fill = max(fills.values())
 
-            def commit(r=region) -> None:
+            def commit(r: int = region) -> None:
                 done = self.mc_pending.pop(r, None)
                 if done:
                     self.mc_table.insert(done.keys())

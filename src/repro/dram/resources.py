@@ -141,13 +141,13 @@ class TaggedBusResource:
     def free_at(self) -> int:
         return self._intervals[-1][1] if self._intervals else 0
 
-    def _gap_after(self, other_tag: object, tag: object) -> int:
+    def _gap_after_ps(self, other_tag: object, tag: object) -> int:
         return 0 if other_tag == tag else self.switch_gap_ps
 
     def _find_gap(self, earliest: int, duration: int, tag: object) -> int:
         start = earliest
         for index, (iv_start, iv_end, iv_tag) in enumerate(self._intervals):
-            lead = self._gap_after(iv_tag, tag)
+            lead = self._gap_after_ps(iv_tag, tag)
             if start + duration + lead <= iv_start:
                 # Fits before this interval; also respect the previous one.
                 break

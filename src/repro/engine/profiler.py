@@ -149,13 +149,14 @@ class EventLoopProfiler:
         pushed (:meth:`origin_stack` at schedule time).
         """
         site, subsystem = callback_origin(callback)
-        if site in origin:
-            # Collapse scheduling cycles (A -> B -> A ...) back to the first
-            # occurrence, so steady-state ping-pong chains converge to one
-            # stack per distinct causal path instead of growing forever.
-            stack = origin[: origin.index(site) + 1]
-        else:
-            stack = (origin + (site,))[-MAX_STACK_DEPTH:]
+        # Collapse scheduling cycles (A -> B -> A ...) back to the first
+        # occurrence, so steady-state ping-pong chains converge to one
+        # stack per distinct causal path instead of growing forever.
+        stack = (
+            origin[: origin.index(site) + 1]
+            if site in origin
+            else (origin + (site,))[-MAX_STACK_DEPTH:]
+        )
         previous = self._active_stack
         self._active_stack = stack
         start = time.perf_counter()  # det: allow — profiling wall time, not model time

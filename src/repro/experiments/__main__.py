@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.experiments import (
     ExperimentContext,
@@ -40,6 +41,9 @@ from repro.experiments import (
     fig13_power,
     latency_breakdown,
 )
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import RunProgress
 
 EXPERIMENTS = {
     "latency": lambda ctx: [latency_breakdown.run(ctx)],
@@ -92,7 +96,7 @@ PLANS = {
 }
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -197,7 +201,7 @@ def main(argv=None) -> int:
 class _Heartbeat:
     """Throttled progress reporter fed by ExperimentContext's callback."""
 
-    def __init__(self, period_s: float, names) -> None:
+    def __init__(self, period_s: float, names: Iterable[str]) -> None:
         self.period_s = period_s
         self.names = list(names)
         self.experiment = ""
@@ -210,7 +214,7 @@ class _Heartbeat:
         self.experiment = name
         self.last_print = time.time()  # det: allow — progress reporting
 
-    def __call__(self, progress) -> None:
+    def __call__(self, progress: RunProgress) -> None:
         if self.period_s <= 0:
             return
         now = time.time()  # det: allow — progress reporting
@@ -232,7 +236,7 @@ class _Heartbeat:
         )
 
 
-def _make_heartbeat(period_s: float, names) -> _Heartbeat:
+def _make_heartbeat(period_s: float, names: Iterable[str]) -> _Heartbeat:
     return _Heartbeat(period_s, names)
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import (
     AmbPrefetchConfig,
@@ -119,7 +119,7 @@ def compare() -> List[str]:
     return problems
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser()

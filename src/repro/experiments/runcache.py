@@ -21,6 +21,7 @@ crash a sweep or poison its results.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -202,18 +203,15 @@ class RunCache:
         """Delete every entry (quarantine included); return files removed."""
         removed = 0
         for path in list(self.entries()) + list(self.quarantined()):
-            try:
+            with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
-            except OSError:
-                pass
         return removed
 
     def _quarantine(self, path: Path) -> None:
         quarantine = self.root / "quarantine"
-        try:
+        # A cache defect must never take the sweep down.
+        with contextlib.suppress(OSError):
             quarantine.mkdir(parents=True, exist_ok=True)
             os.replace(path, quarantine / path.name)
             self.stats.quarantined += 1
-        except OSError:
-            pass  # a cache defect must never take the sweep down

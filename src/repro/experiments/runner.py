@@ -207,10 +207,8 @@ class ExperimentContext:
         self, config: SystemConfig, programs: Tuple[str, ...]
     ) -> SimulationResult:
         start = time.perf_counter()  # det: allow — heartbeat wall time
-        if self.trace_dir is None:
-            result = run_system(config, programs)
-        else:
-            result = self._run_traced(config, programs)
+        result = (run_system(config, programs) if self.trace_dir is None
+                  else self._run_traced(config, programs))
         wall = time.perf_counter() - start  # det: allow — heartbeat wall time
         self._store_to_disk(config, programs, result)
         self._note_fresh(result, wall, programs)

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
+from repro.config import SystemConfig
 from repro.experiments.runner import ExperimentContext, ResultTable
 from repro.system import SimulationResult
 from repro.workloads.multiprog import workload_programs
@@ -53,7 +54,11 @@ class Sweep:
             return self.workload(**usable)
         return str(self.workload)
 
-    def _points(self):
+    def _points(
+        self,
+    ) -> Iterator[
+        Tuple[Dict[str, object], str, Sequence[str], SystemConfig]
+    ]:
         """(point, workload, programs, config) for every cell, in axis order."""
         names: List[str] = list(self.axes)
         for combo in itertools.product(*(self.axes[n] for n in names)):

@@ -17,6 +17,7 @@ from repro.config import FaultConfig, SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import
     # cycle: repro.system imports the controller, which imports repro.faults)
+    from repro.stats.collector import MemSystemStats
     from repro.system import SimulationResult
 
 
@@ -43,7 +44,7 @@ class FaultSweepPoint:
     result: "SimulationResult"
 
     @property
-    def mem(self):
+    def mem(self) -> "MemSystemStats":
         return self.result.mem
 
 

@@ -12,7 +12,20 @@ finished ``MemSystemStats`` into a registry without changing its API.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    TypeVar,
+)
+
+if TYPE_CHECKING:
+    from repro.stats.collector import MemSystemStats
 
 
 class Counter:
@@ -162,6 +175,10 @@ class Histogram:
         }
 
 
+#: The concrete metric classes ``_get_or_create`` can hand back.
+_MetricT = TypeVar("_MetricT", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """An ordered collection of named metrics with one snapshot surface.
 
@@ -171,9 +188,11 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, object] = {}
+        self._metrics: Dict[str, Any] = {}
 
-    def _get_or_create(self, cls, name: str, help: str):
+    def _get_or_create(
+        self, cls: Type[_MetricT], name: str, help: str
+    ) -> _MetricT:
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -205,7 +224,7 @@ class MetricsRegistry:
         """Registered metric names, in registration order."""
         return list(self._metrics)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Any:
         return self._metrics.get(name)
 
     def merge(self, other: "MetricsRegistry") -> None:
@@ -238,7 +257,9 @@ class MetricsRegistry:
         return records
 
 
-def registry_from_stats(stats, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+def registry_from_stats(
+    stats: MemSystemStats, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
     """Adapt a :class:`~repro.stats.collector.MemSystemStats` into metrics.
 
     Every bare counter becomes a named :class:`Counter`; the derived

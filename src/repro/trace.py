@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from repro.telemetry import (
     TelemetryCapture,
@@ -112,10 +112,8 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    if args.capture is not None:
-        capture = load_capture(args.capture)
-    else:
-        capture = record_capture(args)
+    capture = (load_capture(args.capture) if args.capture is not None
+               else record_capture(args))
     doc = write_chrome_trace(args.out, capture)
     problems = validate_chrome_trace(doc)
     events = doc["traceEvents"]
@@ -160,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

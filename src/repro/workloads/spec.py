@@ -137,10 +137,11 @@ class SyntheticTrace:
                 return gen_inst
             stream = rng.randrange(profile.streams)
             sequential = rng.random() < profile.continue_probability
-            if sequential:
-                streams[stream] = (streams[stream] + 1) % profile.footprint_lines
-            else:
-                streams[stream] = rng.randrange(profile.footprint_lines)
+            streams[stream] = (
+                (streams[stream] + 1) % profile.footprint_lines
+                if sequential
+                else rng.randrange(profile.footprint_lines)
+            )
             line = self.base_line + streams[stream]
             heapq.heappush(heap, (gen_inst, next(tie), TraceKind.READ, line))
             writeback_queue.append(line)

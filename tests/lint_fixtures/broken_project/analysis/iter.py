@@ -1,0 +1,3 @@
+# Seeded defect: iteration order of a set is hash-dependent.
+for item in {1, 2}:
+    print(item)

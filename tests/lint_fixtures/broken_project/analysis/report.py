@@ -1,0 +1,3 @@
+# Report surface: reads both counters.
+def run_report(mem: object) -> str:
+    return str(mem.reads) + str(mem.lost_events)

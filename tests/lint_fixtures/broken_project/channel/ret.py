@@ -1,0 +1,3 @@
+# Seeded defect: a *_ps function returning a nanosecond quantity.
+def frame_gap_ps(delay_ns: int) -> int:
+    return delay_ns

@@ -1,0 +1,3 @@
+# Writes `reads` but not `lost_events` (the seeded counter-drift defect).
+def account(s: object) -> None:
+    s.reads += 1

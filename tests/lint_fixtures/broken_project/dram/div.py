@@ -1,0 +1,2 @@
+# Seeded defect: float division on a picosecond time in a hot package.
+half_ps = window_ps / 2

@@ -1,0 +1,4 @@
+# Seeded defect: module-level random stream (unseeded, order-dependent).
+import random
+
+choice = random.random()

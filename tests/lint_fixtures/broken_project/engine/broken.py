@@ -1,0 +1,2 @@
+# Seeded defect: the file does not parse.
+def f(:

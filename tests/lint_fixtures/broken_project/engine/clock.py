@@ -1,0 +1,4 @@
+# Seeded defect: wall-clock read in simulation code.
+import time
+
+now = time.time()

@@ -1,0 +1,2 @@
+# Seeded defect: picoseconds + nanoseconds without a conversion.
+total_ps = delay_ps + gap_ns

@@ -1,0 +1,2 @@
+# Worker entry point: everything it imports runs in worker processes.
+import repro.state

@@ -1,0 +1,3 @@
+# Seeded defect: unannotated function in package code.
+def scale(x):
+    return x

@@ -1,0 +1,7 @@
+# Seeded defect: module-level mutable written from worker-reachable code.
+_CACHE: dict = {}
+
+
+def run_one(x: int) -> int:
+    _CACHE[x] = x
+    return x

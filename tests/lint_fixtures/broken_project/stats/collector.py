@@ -1,0 +1,8 @@
+# Seeded defect: `lost_events` is exported everywhere but never written.
+from dataclasses import dataclass
+
+
+@dataclass
+class MemSystemStats:
+    reads: int = 0
+    lost_events: int = 0

@@ -1,0 +1,3 @@
+# Registry surface: exports both counters.
+def registry_from_stats(stats: object) -> object:
+    return (stats.reads, stats.lost_events)

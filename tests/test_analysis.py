@@ -8,7 +8,12 @@ import pytest
 from repro.analysis.latency import LatencyDistribution, histogram_ns
 from repro.analysis.report import run_report
 from repro.analysis.utilisation import channel_utilisation_report, utilisation_summary
-from repro.config import fbdimm_amb_prefetch, fbdimm_baseline
+from repro.config import (
+    InterleaveScheme,
+    PagePolicy,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
 from repro.stats.collector import MemSystemStats
 from repro.stats.sampling import QueueSampler
 from repro.system import System
@@ -150,3 +155,40 @@ class TestRunReport:
         result = small_run()
         result.mem.per_core_reads[0] = [5, 315_000]  # pre-queue-delay shape
         assert "63.0ns" in run_report(result)
+
+    def test_report_all_reads_latency_line(self):
+        # read_latency_sum_ps covers sw-prefetch reads too; the report
+        # must surface it, not just the demand-only average.
+        result = small_run()
+        mem = result.mem
+        assert mem.total_reads > mem.demand_reads  # sw prefetch ran
+        expected_ns = mem.read_latency_sum_ps / mem.total_reads / 1000
+        text = run_report(result)
+        assert f"incl. sw-prefetch {expected_ns:.1f} ns" in text
+
+    def test_report_row_buffer_line_open_page(self):
+        config = fbdimm_baseline(1).with_memory(
+            page_policy=PagePolicy.OPEN_PAGE,
+            interleave=InterleaveScheme.PAGE,
+        )
+        result = small_run(config=config)
+        mem = result.mem
+        assert mem.row_hits + mem.row_misses > 0
+        text = run_report(result)
+        assert (
+            f"row buffer: {mem.row_hits} hits, {mem.row_misses} misses"
+            in text
+        )
+
+    def test_report_close_page_omits_row_buffer_line(self):
+        # Close page never re-hits a row, so the line would be 0/0 noise.
+        result = small_run()
+        assert result.mem.row_hits + result.mem.row_misses == 0
+        assert "row buffer:" not in run_report(result)
+
+    def test_report_faults_line_counts_injections(self):
+        config = fbdimm_baseline(1).with_faults(error_rate=0.02)
+        result = small_run(config=config)
+        mem = result.mem
+        assert mem.faults_injected > 0
+        assert f"faults: {mem.faults_injected} injected" in run_report(result)

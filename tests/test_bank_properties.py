@@ -29,10 +29,8 @@ def run_sequence(policy, ops):
     bus, rank = BusResource("b"), RankTimer()
     now = 0
     for is_write, row, num_lines in ops:
-        if is_write:
-            result = bank.write(now, row, bus, rank)
-        else:
-            result = bank.read(now, row, num_lines, bus, rank)
+        result = (bank.write(now, row, bus, rank) if is_write
+                  else bank.read(now, row, num_lines, bus, rank))
         now = max(now, result.command_start)
     return bank
 
@@ -67,9 +65,9 @@ def test_column_commands_follow_their_activate(ops, policy):
     for record in bank.command_log:
         if record.kind is CommandType.ACTIVATE:
             last_act = record
-        elif record.kind in (CommandType.READ, CommandType.WRITE):
-            if last_act is not None and last_act.row == record.row:
-                assert record.time_ps >= last_act.time_ps + T.tRCD
+        elif (record.kind in (CommandType.READ, CommandType.WRITE)
+              and last_act is not None and last_act.row == record.row):
+            assert record.time_ps >= last_act.time_ps + T.tRCD
 
 
 @given(ops=accesses)

@@ -67,9 +67,9 @@ class TestAccountingIdentity:
         now = 0
         for op in ops:
             if op == "cmd":
-                now = links.send_command(now)
+                now = links.send_command_ps(now)
             elif op == "write":
-                now = links.send_write(now, 0)
+                now = links.send_write_ps(now, 0)
             else:
                 now = links.return_read(now, 0).full_at_mc
         assert stats.faults_corrupted == (
@@ -90,7 +90,7 @@ class TestAccountingIdentity:
         transfers = 5
         now = 0
         for _ in range(transfers):
-            now = links.send_command(now)
+            now = links.send_command_ps(now)
         assert stats.faults_corrupted == transfers
         assert stats.faults_dropped == transfers
         assert stats.faults_retried_ok == 0
@@ -100,7 +100,7 @@ class TestAccountingIdentity:
         links, stats = make_links(0.0)
         now = 0
         for _ in range(20):
-            now = links.send_command(now)
+            now = links.send_command_ps(now)
         assert links.faults.injector.decisions == 20
         assert stats.faults_corrupted == 0
         assert stats.fault_retry_latency_ps == 0
@@ -110,13 +110,13 @@ class TestAccountingIdentity:
         than the fault-free copy of the same schedule."""
         clean, _ = make_links(0.0)
         faulty, stats = make_links(1.0, max_retries=1)
-        t_clean = clean.send_command(0)
-        t_faulty = faulty.send_command(0)
+        t_clean = clean.send_command_ps(0)
+        t_faulty = faulty.send_command_ps(0)
         assert t_faulty > t_clean
         assert stats.fault_retry_latency_ps > 0
         # Exponential backoff: a deeper budget pushes completion further.
         deeper, _ = make_links(1.0, max_retries=4)
-        assert deeper.send_command(0) > t_faulty
+        assert deeper.send_command_ps(0) > t_faulty
 
 
 class TestBackoffAndDegraded:
@@ -134,18 +134,18 @@ class TestBackoffAndDegraded:
         now = 0
         for _ in range(3):
             assert not links.faults.degraded
-            now = links.send_command(now)
+            now = links.send_command_ps(now)
         assert links.faults.degraded
         assert stats.fault_degraded_entries == 1
         # Sticky: more episodes do not re-enter.
-        links.send_command(now)
+        links.send_command_ps(now)
         assert stats.fault_degraded_entries == 1
 
     def test_clean_transfer_resets_streak(self):
         links, _ = make_links(0.5, seed=7, degraded_threshold=10_000)
         now = 0
         for _ in range(50):
-            now = links.send_command(now)
+            now = links.send_command_ps(now)
         assert not links.faults.degraded
         assert links.faults._streak < 50
 

@@ -35,18 +35,18 @@ class TestFbdimmLinks:
         links = FbdimmLinks(fbd_config(), channel_id=0)
         # Frame [0, 6000) carries up to three commands, all arriving with
         # the same command delay; the fourth spills to the next frame.
-        assert links.send_command(0) == 3_000
-        assert links.send_command(0) == 3_000
-        assert links.send_command(0) == 3_000
-        assert links.send_command(0) == 6_000 + 3_000
+        assert links.send_command_ps(0) == 3_000
+        assert links.send_command_ps(0) == 3_000
+        assert links.send_command_ps(0) == 3_000
+        assert links.send_command_ps(0) == 6_000 + 3_000
 
     def test_command_waits_for_frame_boundary(self):
         links = FbdimmLinks(fbd_config(), channel_id=0)
-        assert links.send_command(1) == 6_000 + 3_000  # next frame at 6 ns
+        assert links.send_command_ps(1) == 6_000 + 3_000  # next frame at 6 ns
 
     def test_send_write_streams_four_frames(self):
         links = FbdimmLinks(fbd_config(), channel_id=0)
-        arrival = links.send_write(0, dimm=0)
+        arrival = links.send_write_ps(0, dimm=0)
         assert arrival == 4 * 6000 + 3000 + 12_000
 
     def test_return_read_critical_word(self):
@@ -71,11 +71,11 @@ class TestFbdimmLinks:
 
     def test_command_rides_in_write_data_frame(self):
         links = FbdimmLinks(fbd_config(), channel_id=0)
-        links.send_write(0, dimm=0)  # data in frames 0-3, one cmd slot each
-        assert links.send_command(0) == 3_000  # shares frame 0
+        links.send_write_ps(0, dimm=0)  # data in frames 0-3, one cmd slot each
+        assert links.send_command_ps(0) == 3_000  # shares frame 0
         # A second command cannot share a data-carrying frame... and the
         # next three frames carry data with one spare command slot each.
-        assert links.send_command(0) == 6_000 + 3_000
+        assert links.send_command_ps(0) == 6_000 + 3_000
 
     def test_frame_scales_with_data_rate(self):
         links = FbdimmLinks(fbd_config(data_rate_mts=800), channel_id=0)
