@@ -62,12 +62,16 @@ def _build_config(args: argparse.Namespace, system: str) -> SystemConfig:
             associativity=ASSOCIATIVITIES[args.assoc],
         )
         config = fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch)
-    return dataclasses.replace(
+    config = dataclasses.replace(
         config,
         instructions_per_core=args.insts,
         seed=args.seed,
         software_prefetch=not args.no_sw_prefetch,
     )
+    window_ns = getattr(args, "timeline_ns", None)
+    if window_ns is not None:
+        config = config.with_timeline(window_ns=window_ns)
+    return config
 
 
 def _run_one(
@@ -323,6 +327,10 @@ def build_parser() -> argparse.ArgumentParser:
                        type=int, metavar="N",
                        help="profile the event loop; print the top-N "
                             "callback sites (default 15)")
+    run_p.add_argument("--timeline-ns", type=float, default=None,
+                       metavar="NS",
+                       help="record the windowed timeline (window length "
+                            "in sim-time ns; see docs/TIMELINE.md)")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="DDR2 vs FBD vs FBD-AP")
@@ -376,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.bench.cli import configure_parser as configure_bench_parser
 
     configure_bench_parser(bench_p)
+
+    timeline_p = sub.add_parser(
+        "timeline", help="windowed sim-time telemetry (see docs/TIMELINE.md)"
+    )
+    from repro.timeline.cli import configure_parser as configure_timeline_parser
+
+    configure_timeline_parser(timeline_p)
     return parser
 
 

@@ -2,14 +2,25 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.power.energy import (
+    CommandEnergyModel,
+    relative_dynamic_power_from_commands,
+)
 from repro.stats import metrics
 from repro.system import SimulationResult
 
 
-def run_report(result: SimulationResult) -> str:
-    """Multi-line summary of one simulation run."""
+def run_report(
+    result: SimulationResult, baseline: Optional[SimulationResult] = None
+) -> str:
+    """Multi-line summary of one simulation run.
+
+    With ``baseline`` given (the paper's no-prefetch reference run), a
+    relative-dynamic-power line is added, computed from the per-command
+    energy accountant (Figure 13's basis).
+    """
     lines: List[str] = []
     cfg = result.config
     memory = cfg.memory
@@ -70,8 +81,22 @@ def run_report(result: SimulationResult) -> str:
         )
     lines.append(
         f"  DRAM ops: {mem.activates} ACT/PRE pairs, "
-        f"{mem.column_accesses} column accesses"
+        f"{mem.column_accesses} column accesses "
+        f"({mem.column_reads} RD, {mem.column_writes} WR), "
+        f"{mem.refreshes} refreshes"
     )
+    energy_units = CommandEnergyModel().energy_of(mem)
+    lines.append(f"  dynamic energy: {energy_units:.0f} units (per-command model)")
+    if baseline is not None:
+        rel = relative_dynamic_power_from_commands(mem, baseline.mem)
+        lines.append(f"  relative dynamic power vs baseline: {rel:.3f}")
+    if mem.idle_gaps:
+        span = max(result.elapsed_ps - result.warmup_time_ps, 1)
+        lines.append(
+            f"  residency: idle {mem.idle_ps / span:.1%}, "
+            f"power-down {mem.powerdown_ps / span:.1%} "
+            f"({mem.idle_gaps} idle gaps)"
+        )
     row_refs = mem.row_hits + mem.row_misses
     if row_refs:
         lines.append(
@@ -93,4 +118,9 @@ def run_report(result: SimulationResult) -> str:
             f"{mem.fault_retry_latency_ps / 1000:.1f} ns retry latency, "
             f"{mem.fault_degraded_entries} degraded-mode entries"
         )
+    if result.timeline is not None:
+        from repro.timeline.report import timeline_report
+
+        lines.append("")
+        lines.append(timeline_report(result.timeline))
     return "\n".join(lines)

@@ -9,6 +9,10 @@ one performance-relevant path:
   scheduling and the daisy chain, no prefetching.
 * ``fbd-4ch-ap`` — the same with AMB prefetching on: adds the prefetch
   engine, AMB caches and multi-cacheline interleave.
+* ``fbd-4ch-ap-timeline`` — the prefetch scenario with the windowed
+  timeline recording on: same simulated work, so its requests/s against
+  ``fbd-4ch-ap`` measures the collector's overhead (CI asserts < 5%;
+  events/s is *not* comparable because the window ticks add events).
 * ``fbd-4ch-ap-faults`` — AMB prefetching plus seeded link fault
   injection: CRC checks, retries and replay scheduling on the hot path.
 * ``sweep-cold`` — a 4-point prefetch sweep executed through the
@@ -231,6 +235,16 @@ SCENARIOS: Dict[str, Scenario] = {
             description="4-channel FB-DIMM + AMB prefetch, 4 cores",
             prepare=_system_scenario(
                 lambda: fbdimm_amb_prefetch(num_cores=4, logic_channels=4),
+                ("wupwise", "swim", "mgrid", "applu"),
+            ),
+        ),
+        Scenario(
+            name="fbd-4ch-ap-timeline",
+            description="fbd-4ch-ap with the windowed timeline recording on",
+            prepare=_system_scenario(
+                lambda: fbdimm_amb_prefetch(
+                    num_cores=4, logic_channels=4
+                ).with_timeline(window_ns=1000.0),
                 ("wupwise", "swim", "mgrid", "applu"),
             ),
         ),

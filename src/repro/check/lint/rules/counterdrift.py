@@ -1,38 +1,41 @@
 """Counter-drift analysis: every stats field must be fed and exported.
 
-:class:`repro.stats.collector.MemSystemStats` is the single source of the
-paper's reported quantities.  A field drifts in two ways:
+The simulator has two counter dataclasses that feed the paper's reported
+quantities: :class:`repro.stats.collector.MemSystemStats` (whole-run
+totals) and :class:`repro.timeline.records.WindowRecord` (the windowed
+timeline's per-window deltas).  A field drifts in two ways:
 
 * **orphaned** — nothing increments it any more (a refactor moved the
   accounting and the field silently reads zero forever);
 * **unexported** — it is incremented but never surfaced, so telemetry and
   the run report diverge from what the simulator actually measured.
 
-Three rules, each anchored at the field's declaration line in the
-collector module:
+Three rules, each anchored at the field's declaration line in its
+collector module and applied to every counter spec:
 
 * ``stat-no-increment`` — no write site anywhere in the project updates
-  the field with a non-constant value (reset-to-zero assignments in the
-  collector do not count);
+  the field with a non-constant value (reset-to-zero assignments do not
+  count; constructor keyword arguments do, which is how WindowRecord
+  fields are fed);
 * ``stat-unreported`` — neither the field nor a collector property
-  derived from it is read by the report path (any ``analysis/`` module or
-  ``stats/metrics.py``);
-* ``stat-unregistered`` — neither the field nor a derived property is
-  read by :func:`repro.telemetry.registry_from_stats`
-  (``telemetry/registry.py``), so parallel-run aggregation and JSONL
-  exports drop it.
+  derived from it is read by the spec's report path;
+* ``stat-unregistered`` — the field is absent from the spec's export
+  registration surface (``registry_from_stats`` for MemSystemStats; the
+  explicit export column tuples in ``timeline/export.py`` for
+  WindowRecord, where a field-name string constant counts as
+  registration).
 
 Fields consumed through a property (``elapsed_ps`` covers
-``first_activity_ps``/``last_activity_ps``; ``total_reads`` covers the
-read counters) are credited when the *property* is read.  Export checks
-run only when the respective surface module is part of the lint run, so
-linting a file subset never produces spurious orphans.
+``first_activity_ps``/``last_activity_ps``; ``bandwidth_gbs`` covers the
+window byte counters) are credited when the *property* is read.  Export
+checks run only when the respective surface module is part of the lint
+run, so linting a file subset never produces spurious orphans.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from repro.check.lint.core import (
     Finding,
@@ -54,6 +57,44 @@ REGISTRY_FUNC = "registry_from_stats"
 
 #: Method calls that count as feeding a container-typed field.
 _FEEDING_METHODS = {"append", "setdefault", "add", "update", "__setitem__"}
+
+
+class CounterSpec(NamedTuple):
+    """One counter dataclass and the surfaces that must consume it."""
+
+    collector_rel: str
+    collector_class: str
+    #: Report-path entries: a trailing ``/`` matches a directory prefix,
+    #: anything else must match the module path exactly.
+    report_surface: Tuple[str, ...]
+    report_label: str
+    registry_rel: str
+    #: Function whose body counts as registration; None = whole module.
+    registry_func: Optional[str]
+    registry_label: str
+
+
+_SPECS = (
+    CounterSpec(
+        collector_rel=COLLECTOR_REL,
+        collector_class=COLLECTOR_CLASS,
+        report_surface=REPORT_SURFACE,
+        report_label="the report path (analysis/ or stats/metrics.py)",
+        registry_rel=REGISTRY_REL,
+        registry_func=REGISTRY_FUNC,
+        registry_label=f"{REGISTRY_FUNC} (telemetry/registry.py)",
+    ),
+    CounterSpec(
+        collector_rel="timeline/records.py",
+        collector_class="WindowRecord",
+        report_surface=("timeline/report.py", "timeline/diff.py", "analysis/"),
+        report_label="the timeline report path (timeline/report.py,"
+                     " timeline/diff.py or analysis/)",
+        registry_rel="timeline/export.py",
+        registry_func=None,
+        registry_label="the timeline export columns (timeline/export.py)",
+    ),
+)
 
 
 def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
@@ -141,6 +182,29 @@ def _attribute_stores(tree: ast.Module, fields: Dict[str, int]) -> Set[str]:
     return fed
 
 
+def _ctor_feeds(tree: ast.Module, class_name: str,
+                fields: Dict[str, int]) -> Set[str]:
+    """Fields passed as keyword arguments to ``class_name(...)`` calls.
+
+    Frozen dataclasses (WindowRecord) are fed at construction, not by
+    attribute stores; a keyword in any constructor call counts.
+    """
+    fed: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name != class_name:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg in fields:
+                fed.add(keyword.arg)
+    return fed
+
+
 def _attribute_reads(node: ast.AST, names: Set[str]) -> Set[str]:
     """Which of ``names`` are read as attributes anywhere under ``node``."""
     seen: Set[str] = set()
@@ -150,32 +214,57 @@ def _attribute_reads(node: ast.AST, names: Set[str]) -> Set[str]:
     return seen
 
 
+def _string_mentions(node: ast.AST, names: Set[str]) -> Set[str]:
+    """Which of ``names`` appear as exact string constants under ``node``.
+
+    The timeline exporter registers columns through explicit name tuples
+    (``WINDOW_FIELDS``); a field name present there counts as exported.
+    """
+    seen: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and isinstance(child.value, str) \
+                and child.value in names:
+            seen.add(child.value)
+    return seen
+
+
 @register
 class CounterDriftRule(ProjectRule):
     """Umbrella project rule emitting the three ``stat-*`` findings.
 
     One registry entry per finding id keeps suppression and selection
     per-id; this class is registered three times through the subclasses
-    below, each filtering the shared analysis to its own id.
+    below, each filtering the shared analysis to its own id.  Each rule
+    runs once per :data:`CounterSpec`, so MemSystemStats and the
+    timeline's WindowRecord are reconciled by the same machinery.
     """
 
     id = "stat-no-increment"
     severity = "error"
     description = (
-        "a MemSystemStats field with no non-reset write site anywhere in "
-        "the project (the counter silently reads zero forever)"
+        "a counter dataclass field (MemSystemStats, WindowRecord) with no "
+        "non-reset write site anywhere in the project (the counter "
+        "silently reads zero forever)"
     )
     _emit = "stat-no-increment"
 
     def check_project(
         self, ctxs: Sequence[ModuleContext]
     ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for spec in _SPECS:
+            findings.extend(self._check_spec(spec, ctxs))
+        return findings
+
+    def _check_spec(
+        self, spec: CounterSpec, ctxs: Sequence[ModuleContext]
+    ) -> Iterable[Finding]:
         collector = next(
-            (ctx for ctx in ctxs if ctx.rel == COLLECTOR_REL), None
+            (ctx for ctx in ctxs if ctx.rel == spec.collector_rel), None
         )
         if collector is None or collector.tree is None:
             return ()
-        cls = _find_class(collector.tree, COLLECTOR_CLASS)
+        cls = _find_class(collector.tree, spec.collector_class)
         if cls is None:
             return ()
         fields = _stat_fields(cls)
@@ -187,30 +276,33 @@ class CounterDriftRule(ProjectRule):
             for ctx in ctxs:
                 if ctx.tree is not None and not ctx.is_test_code:
                     fed |= _attribute_stores(ctx.tree, fields)
+                    fed |= _ctor_feeds(ctx.tree, spec.collector_class, fields)
             for name, line in sorted(fields.items()):
                 if name not in fed:
                     findings.append(self.finding(
                         collector, line,
-                        f"{COLLECTOR_CLASS}.{name} has no increment/write "
-                        "site: the counter can only ever read its default",
+                        f"{spec.collector_class}.{name} has no increment/"
+                        "write site: the counter can only ever read its "
+                        "default",
                     ))
             return findings
 
         if self._emit == "stat-unreported":
             surface = [
                 ctx for ctx in ctxs
-                if ctx.tree is not None and (
-                    ctx.rel.startswith(REPORT_SURFACE[0])
-                    or ctx.rel == REPORT_SURFACE[1]
+                if ctx.tree is not None and any(
+                    ctx.rel.startswith(entry) if entry.endswith("/")
+                    else ctx.rel == entry
+                    for entry in spec.report_surface
                 )
             ]
-            label = "the report path (analysis/ or stats/metrics.py)"
+            label = spec.report_label
         else:
             surface = [
                 ctx for ctx in ctxs
-                if ctx.tree is not None and ctx.rel == REGISTRY_REL
+                if ctx.tree is not None and ctx.rel == spec.registry_rel
             ]
-            label = f"{REGISTRY_FUNC} (telemetry/registry.py)"
+            label = spec.registry_label
         if not surface:
             return ()
 
@@ -221,20 +313,24 @@ class CounterDriftRule(ProjectRule):
         for ctx in surface:
             assert ctx.tree is not None
             scope: ast.AST = ctx.tree
-            if self._emit == "stat-unregistered":
+            if self._emit == "stat-unregistered" \
+                    and spec.registry_func is not None:
                 for node in ctx.tree.body:
                     if isinstance(node, ast.FunctionDef) \
-                            and node.name == REGISTRY_FUNC:
+                            and node.name == spec.registry_func:
                         scope = node
                         break
             read |= _attribute_reads(scope, searchable)
+            if self._emit == "stat-unregistered":
+                read |= _string_mentions(scope, searchable)
         for name, line in sorted(fields.items()):
             credited = {name} | aliases[name]
             if not credited & read:
                 findings.append(self.finding(
                     collector, line,
-                    f"{COLLECTOR_CLASS}.{name} is never exported through "
-                    f"{label}: telemetry and paper figures can drift",
+                    f"{spec.collector_class}.{name} is never exported "
+                    f"through {label}: telemetry and paper figures can "
+                    "drift",
                 ))
         return findings
 
@@ -243,8 +339,9 @@ class CounterDriftRule(ProjectRule):
 class StatUnreportedRule(CounterDriftRule):
     id = "stat-unreported"
     description = (
-        "a MemSystemStats field (or a property derived from it) never "
-        "read by the report path (analysis/ modules or stats/metrics.py)"
+        "a counter dataclass field (or a property derived from it) never "
+        "read by its report path (analysis/ modules, stats/metrics.py, or "
+        "the timeline report)"
     )
     _emit = "stat-unreported"
 
@@ -253,7 +350,8 @@ class StatUnreportedRule(CounterDriftRule):
 class StatUnregisteredRule(CounterDriftRule):
     id = "stat-unregistered"
     description = (
-        "a MemSystemStats field (or a property derived from it) never "
-        "read by registry_from_stats (telemetry/registry.py)"
+        "a counter dataclass field (or a property derived from it) never "
+        "exported through its registration surface (registry_from_stats "
+        "or the timeline export columns)"
     )
     _emit = "stat-unregistered"

@@ -233,6 +233,59 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class TimelineConfig:
+    """Sim-time-windowed telemetry (:mod:`repro.timeline`).
+
+    When enabled, a :class:`~repro.timeline.collector.TimelineCollector`
+    snapshots counter deltas every ``window_ns`` of simulated time into
+    typed per-window records (bandwidth, latency percentiles, queue depth,
+    row-buffer and prefetch behaviour, per-command energy, power-down
+    residency).  Observation only: the collector never touches model
+    state, so a timeline-enabled run produces the same performance
+    results as a disabled one — only the extra counters and the
+    ``timeline`` field of the result differ (pinned by the zero-overhead
+    guard test).
+
+    Attributes:
+        enabled: Master switch; off costs nothing and changes nothing —
+            a default-config run is bit-identical to a build without the
+            timeline subsystem at all.
+        window_ns: Window length in simulated nanoseconds.
+        capture_latency: Record per-request demand latencies so each
+            window gets exact percentiles (p50/p95/p99/max).  Costs one
+            list append per demand read.
+        powerdown_entry_ns: Idle-gap length beyond which the remainder of
+            the gap counts as power-down residency (models the CKE-low
+            entry/exit penalty; DDR2 takes a few clocks).
+        max_windows: Safety bound on recorded windows; ticking stops
+            (with a truncation marker) once reached.
+    """
+
+    enabled: bool = False
+    window_ns: float = 1000.0
+    capture_latency: bool = True
+    powerdown_entry_ns: float = 10.0
+    max_windows: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        if self.powerdown_entry_ns < 0:
+            raise ValueError("powerdown_entry_ns must be >= 0")
+        if self.max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+
+    @property
+    def window_ps(self) -> int:
+        """Window length in the integer-picosecond time base."""
+        return ns(self.window_ns)
+
+    @property
+    def powerdown_entry_ps(self) -> int:
+        return ns(self.powerdown_entry_ns)
+
+
+@dataclass(frozen=True)
 class MemoryConfig:
     """Geometry and policy of the memory subsystem (Table 1, memory rows).
 
@@ -402,6 +455,9 @@ class SystemConfig:
     #: Disabled by default: a default-config run is bit-identical to a
     #: build without the fault subsystem at all.
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Sim-time-windowed telemetry (see :class:`TimelineConfig`).
+    #: Disabled by default for the same bit-identity guarantee.
+    timeline: TimelineConfig = field(default_factory=TimelineConfig)
 
     def __post_init__(self) -> None:
         if not 0 <= self.warmup_instructions < self.instructions_per_core:
@@ -439,6 +495,18 @@ class SystemConfig:
         if changes and "enabled" not in changes:
             changes["enabled"] = True
         return replace(self, faults=replace(self.faults, **changes))
+
+    def with_timeline(self, **changes: object) -> "SystemConfig":
+        """Return a copy with the timeline config fields replaced.
+
+        ``with_timeline(...)`` implies ``enabled=True`` unless ``enabled``
+        is passed explicitly — asking for a timeline is opting in, so
+        ``cfg.with_timeline()`` alone turns windowed telemetry on with
+        the defaults.
+        """
+        if "enabled" not in changes:
+            changes["enabled"] = True
+        return replace(self, timeline=replace(self.timeline, **changes))
 
     def to_dict(self) -> dict:
         """JSON-compatible encoding (enums by name, nested dataclasses

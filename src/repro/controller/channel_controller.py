@@ -297,6 +297,7 @@ class Ddr2ChannelController(ChannelControllerBase):
         """Snapshot of DRAM-operation counts and bus occupancy."""
         counters = {
             "activates": 0, "column_accesses": 0, "prefetched_lines": 0,
+            "column_reads": 0, "column_writes": 0, "refreshes": 0,
             "row_hits": 0, "row_misses": 0,
             "busy": {self.data_bus.name: self.data_bus.busy_ps},
         }
@@ -305,6 +306,9 @@ class Ddr2ChannelController(ChannelControllerBase):
             counters["activates"] += acts
             counters["column_accesses"] += cols
             for bank in dimm.banks:
+                counters["column_reads"] += bank.stats.reads
+                counters["column_writes"] += bank.stats.writes
+                counters["refreshes"] += bank.stats.refreshes
                 counters["row_hits"] += bank.stats.row_hits
                 counters["row_misses"] += bank.stats.row_misses
         return counters
@@ -585,6 +589,7 @@ class FbdimmChannelController(ChannelControllerBase):
         counters = {
             "activates": 0, "column_accesses": 0,
             "prefetched_lines": self.mc_prefetched_lines,
+            "column_reads": 0, "column_writes": 0, "refreshes": 0,
             "row_hits": 0, "row_misses": 0,
             "busy": {
                 self.links.north.name: self.links.north.busy_ps,
@@ -597,6 +602,9 @@ class FbdimmChannelController(ChannelControllerBase):
             counters["column_accesses"] += cols
             counters["prefetched_lines"] += amb.prefetched_lines
             for bank in amb.banks:
+                counters["column_reads"] += bank.stats.reads
+                counters["column_writes"] += bank.stats.writes
+                counters["refreshes"] += bank.stats.refreshes
                 counters["row_hits"] += bank.stats.row_hits
                 counters["row_misses"] += bank.stats.row_misses
         return counters

@@ -26,6 +26,16 @@ from repro.stats.collector import MemSystemStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.spans import Tracer
+    from repro.timeline.collector import TimelineCollector
+
+#: Device/residency counter keys summed across channels and baseline-
+#: subtracted at a measurement reset (see mark_measurement_start).
+_DEVICE_COUNTER_KEYS = (
+    "activates", "column_accesses", "prefetched_lines",
+    "column_reads", "column_writes", "refreshes",
+    "row_hits", "row_misses",
+    "idle_ps", "powerdown_ps", "idle_gaps",
+)
 
 
 class MemoryController:
@@ -66,6 +76,18 @@ class MemoryController:
         self.capacity = config.buffer_entries
         self.active = 0
         self.backlog: Deque[MemoryRequest] = deque()
+        #: Optional timeline collector (repro.timeline); attached by the
+        #: System when the timeline is enabled so measurement resets reach
+        #: the per-window records.
+        self.timeline: "Optional[TimelineCollector]" = None
+        # Idle/power-down residency tracker: off (and free) by default;
+        # enable_idle_tracking() arms it when the timeline is on.
+        self._idle_tracking = False
+        self._idle_entry_ps = 0
+        self._idle_since: Optional[int] = None
+        self._idle_ps = 0
+        self._powerdown_ps = 0
+        self._idle_gaps = 0
         for channel in self.channels:
             channel.tracer = tracer
         # The Chrome-trace exporter reuses the protocol-checker command
@@ -83,6 +105,8 @@ class MemoryController:
         admitted into a channel queue or parked in the admission FIFO when
         all 64 buffer entries are occupied.
         """
+        if self._idle_since is not None:
+            self._close_idle_gap(self.sim.now)
         req.mapped = self.mapper.map(req.line_addr)
         req.schedulable_at = req.arrival + self.overhead_ps
         self._chain_completion(req)
@@ -111,10 +135,42 @@ class MemoryController:
             self.active -= 1
             if self.backlog:
                 self._admit(self.backlog.popleft())
+            elif self._idle_tracking and self.active == 0 and self._idle_since is None:
+                self._idle_since = self.sim.now
             if user_callback is not None:
                 user_callback(done)
 
         req.on_complete = chained
+
+    # ------------------------------------------------------------------
+    # Idle/power-down residency tracking
+
+    def enable_idle_tracking(self, entry_ps: int) -> None:
+        """Arm whole-subsystem idle tracking (timeline/energy accounting).
+
+        An idle gap opens whenever no request is outstanding anywhere in
+        the memory subsystem and closes on the next arrival (or at
+        finalize).  The portion of each gap beyond ``entry_ps`` counts as
+        power-down residency, modelling DRAM ranks entering precharge
+        power-down after a fixed idle threshold.
+        """
+        if entry_ps < 0:
+            raise ValueError(f"entry_ps must be non-negative, got {entry_ps}")
+        self._idle_tracking = True
+        self._idle_entry_ps = entry_ps
+        # The subsystem starts idle: the gap opens at time zero.
+        self._idle_since = self.sim.now
+
+    def _close_idle_gap(self, now: int) -> None:
+        """Close the open idle gap, crediting idle/power-down residency."""
+        assert self._idle_since is not None
+        gap = now - self._idle_since
+        self._idle_since = None
+        if gap > 0:
+            self._idle_ps += gap
+            self._idle_gaps += 1
+            if gap > self._idle_entry_ps:
+                self._powerdown_ps += gap - self._idle_entry_ps
 
     def _admit(self, req: MemoryRequest) -> None:
         self.active += 1
@@ -128,17 +184,27 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _summed_device_counters(self) -> dict:
-        totals = {
-            "activates": 0, "column_accesses": 0, "prefetched_lines": 0,
-            "row_hits": 0, "row_misses": 0, "busy": {},
-        }
+        totals: dict = {key: 0 for key in _DEVICE_COUNTER_KEYS}
+        totals["busy"] = {}
         for channel in self.channels:
             counters = channel.collect_device_counters()
-            for key in ("activates", "column_accesses", "prefetched_lines",
-                        "row_hits", "row_misses"):
-                totals[key] += counters[key]
+            for key in _DEVICE_COUNTER_KEYS:
+                totals[key] += counters.get(key, 0)
             totals["busy"].update(counters["busy"])
+        # Residency lives on the controller, not in the channels.
+        totals["idle_ps"] += self._idle_ps
+        totals["powerdown_ps"] += self._powerdown_ps
+        totals["idle_gaps"] += self._idle_gaps
         return totals
+
+    def device_counters(self) -> dict:
+        """Live device/residency counter totals (timeline snapshots).
+
+        Unlike :meth:`finalize` this performs no baseline subtraction:
+        the timeline collector differences successive snapshots itself,
+        so absolute values are what it needs.
+        """
+        return self._summed_device_counters()
 
     def collect_check_events(self) -> "list":
         """All journalled protocol-checker events, time-sorted.
@@ -178,16 +244,26 @@ class MemoryController:
         snapshotted and subtracted at finalize; completion-side counters
         are reset outright.
         """
+        # Close (and reopen) any open idle gap at the boundary so the
+        # warm-up share of the gap lands in the baseline snapshot.
+        if self._idle_since is not None:
+            self._close_idle_gap(self.sim.now)
+            self._idle_since = self.sim.now
         self._baseline = self._summed_device_counters()
         self.stats.reset_measurement()
+        if self.timeline is not None:
+            self.timeline.on_measurement_reset()
 
     def finalize(self) -> MemSystemStats:
         """Fold per-channel device counters into the stats and return them."""
+        # A run can end with the subsystem idle; close the trailing gap
+        # so its residency is accounted before the fold.
+        if self._idle_since is not None:
+            self._close_idle_gap(self.sim.now)
         totals = self._summed_device_counters()
         baseline = getattr(self, "_baseline", None)
         if baseline is not None:
-            for key in ("activates", "column_accesses", "prefetched_lines",
-                        "row_hits", "row_misses"):
+            for key in _DEVICE_COUNTER_KEYS:
                 totals[key] -= baseline[key]
             totals["busy"] = {
                 name: busy - baseline["busy"].get(name, 0)
@@ -196,7 +272,13 @@ class MemoryController:
         self.stats.activates += totals["activates"]
         self.stats.column_accesses += totals["column_accesses"]
         self.stats.prefetched_lines += totals["prefetched_lines"]
+        self.stats.column_reads += totals["column_reads"]
+        self.stats.column_writes += totals["column_writes"]
+        self.stats.refreshes += totals["refreshes"]
         self.stats.row_hits += totals["row_hits"]
         self.stats.row_misses += totals["row_misses"]
+        self.stats.idle_ps += totals["idle_ps"]
+        self.stats.powerdown_ps += totals["powerdown_ps"]
+        self.stats.idle_gaps += totals["idle_gaps"]
         self.stats.per_channel_busy_ps.update(totals["busy"])
         return self.stats

@@ -57,6 +57,26 @@ class Simulator:
             event.origin = self.profiler.origin_stack()
         return event
 
+    def schedule_every(self, period: int, callback: Callable[[], object]) -> Event:
+        """Schedule ``callback`` every ``period`` picoseconds from now.
+
+        The series starts at ``now + period`` and re-arms itself after
+        each firing; returning ``False`` from the callback ends the
+        series.  The pending tick keeps the event queue non-empty, so a
+        periodic series only suits runs that end via :meth:`stop` (or an
+        explicit ``until`` bound), never by queue drain.  Ticks are
+        ordinary events: they fire in timestamp order and, on timestamp
+        ties, in scheduling order — deterministic like everything else.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+
+        def fire() -> None:
+            if callback() is not False:
+                self.schedule(period, fire)
+
+        return self.schedule(period, fire)
+
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""
         self._stopped = True

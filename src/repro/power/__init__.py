@@ -5,5 +5,19 @@ from repro.power.ddr2_power import (
     PowerModel,
     relative_dynamic_power,
 )
+from repro.power.energy import (
+    CommandEnergyModel,
+    EnergyAccountant,
+    EnergyBreakdown,
+    relative_dynamic_power_from_commands,
+)
 
-__all__ = ["MicronPowerCalculator", "PowerModel", "relative_dynamic_power"]
+__all__ = [
+    "MicronPowerCalculator",
+    "PowerModel",
+    "relative_dynamic_power",
+    "CommandEnergyModel",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "relative_dynamic_power_from_commands",
+]

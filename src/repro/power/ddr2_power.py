@@ -30,7 +30,10 @@ class MicronPowerCalculator:
     idd4r: float = 180.0  # burst read current
     idd4w: float = 185.0  # burst write current
     idd2n: float = 40.0  # precharge standby (baseline during bursts)
+    idd2p: float = 7.0  # precharge power-down (CKE low)
+    idd5: float = 215.0  # burst auto-refresh current over tRFC
     t_rc_ns: float = 54.0
+    t_rfc_ns: float = 127.5  # refresh cycle time, 1 Gb device
     burst_ns: float = 12.0  # 8 beats at DDR2-667
     chips_per_rank: int = 8
     #: Share of the burst current spent in the output drivers and on-die
@@ -59,6 +62,24 @@ class MicronPowerCalculator:
     def act_to_column_ratio(self) -> float:
         """The paper's calibrated ratio (roughly 4:1 for these defaults)."""
         return self.act_pre_energy_nj() / self.column_energy_nj()
+
+    def refresh_energy_nj(self) -> float:
+        """Energy of one all-bank auto-refresh for a whole rank.
+
+        (IDD5 - IDD2N) x VDD over tRFC per chip; the precharge-standby
+        baseline is subtracted because background power is accounted
+        separately (see :meth:`standby_power_w`).
+        """
+        per_chip = (self.idd5 - self.idd2n) * self.vdd * self.t_rfc_ns / 1000.0
+        return per_chip * self.chips_per_rank
+
+    def standby_power_w(self) -> float:
+        """Background power of one idle (precharge standby, CKE high) rank."""
+        return self.idd2n * self.vdd * self.chips_per_rank / 1000.0
+
+    def powerdown_power_w(self) -> float:
+        """Background power of one rank in precharge power-down (CKE low)."""
+        return self.idd2p * self.vdd * self.chips_per_rank / 1000.0
 
 
 @dataclass(frozen=True)

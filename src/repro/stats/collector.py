@@ -28,8 +28,15 @@ class MemSystemStats:
     bytes_written: int = 0  # write data crossing the channel
     activates: int = 0  # ACT/PRE pairs at the DRAM devices
     column_accesses: int = 0  # RD/WR column commands at the DRAM devices
+    column_reads: int = 0  # RD share of column_accesses (energy split)
+    column_writes: int = 0  # WR share of column_accesses (energy split)
+    refreshes: int = 0  # all-bank refreshes at the DRAM devices
     row_hits: int = 0
     row_misses: int = 0
+    # -- idle/power-down residency (fed only when the timeline is on) ----
+    idle_ps: int = 0  # whole-subsystem idle time (no request outstanding)
+    powerdown_ps: int = 0  # idle time past the power-down entry threshold
+    idle_gaps: int = 0  # closed idle gaps (entries into the idle state)
     # -- fault injection (repro.faults; all zero when faults are off) ----
     faults_injected: int = 0  # corrupted transfer attempts on the links
     faults_corrupted: int = 0  # transfers that saw >= 1 corruption

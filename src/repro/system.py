@@ -16,6 +16,7 @@ from repro.config import SystemConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.spans import Tracer
+    from repro.timeline.collector import TimelineCollector
 from repro.controller.controller import MemoryController
 from repro.cpu.core import Core, CoreStats
 from repro.cpu.l2 import L2FillTable
@@ -23,6 +24,7 @@ from repro.cpu.mshr import Limiter
 from repro.engine.simulator import Simulator
 from repro.stats import metrics
 from repro.stats.collector import MemSystemStats
+from repro.timeline.records import TimelineResult
 from repro.workloads.spec import make_trace
 
 #: Shared L2 capacity in cachelines (4 MB / 64 B, Table 1); bounds how long
@@ -51,6 +53,10 @@ class SimulationResult:
     #: [] when checked and clean (a non-empty list never escapes — System.run
     #: raises ProtocolViolationError instead).
     protocol_violations: Optional[list] = None
+    #: Windowed telemetry (repro.timeline); None unless the run's config
+    #: had ``timeline.enabled`` — the timeline-off canonical JSON is thus
+    #: unchanged and the bit-identity guarantee holds.
+    timeline: Optional[TimelineResult] = None
 
     @property
     def ipc_by_program(self) -> Dict[str, float]:
@@ -180,6 +186,23 @@ class System:
             tracer=tracer,
             faults=config.faults if config.faults.enabled else None,
         )
+        self.timeline_collector: "Optional[TimelineCollector]" = None
+        if config.timeline.enabled:
+            from repro.power.energy import EnergyAccountant
+            from repro.timeline.collector import TimelineCollector
+
+            mem = config.memory
+            ranks = mem.physical_channels * mem.dimms_per_channel * mem.ranks_per_dimm
+            self.timeline_collector = TimelineCollector(
+                sim=self.sim,
+                stats=self.controller.stats,
+                config=config.timeline,
+                accountant=EnergyAccountant(ranks=ranks),
+                device_counters=self.controller.device_counters,
+                queue_depth=self.controller.outstanding,
+            )
+            self.controller.timeline = self.timeline_collector
+            self.controller.enable_idle_tracking(config.timeline.powerdown_entry_ps)
         self.l2 = L2FillTable(L2_CAPACITY_LINES)
         self.l2_mshr = Limiter(config.cpu.l2_mshr_entries, "l2.mshr")
         self._finished_core: Optional[Core] = None
@@ -224,9 +247,16 @@ class System:
         self._ran = True
         for core in self.cores:
             core.start()
+        if self.timeline_collector is not None:
+            self.timeline_collector.start()
         self.sim.run(max_events=MAX_EVENTS_PER_RUN)
         elapsed = max(self.sim.now, 1)
+        # Finalize the controller first: it closes the trailing idle gap,
+        # so the timeline's final partial window sees full residency.
         mem_stats = self.controller.finalize()
+        timeline: Optional[TimelineResult] = None
+        if self.timeline_collector is not None:
+            timeline = self.timeline_collector.finalize(self.sim.now)
         violations = None
         if self.config.check_protocol:
             from repro.check.protocol import ProtocolViolationError
@@ -253,6 +283,7 @@ class System:
             events_fired=self.sim.events_fired,
             warmup_time_ps=self._warmup_time_ps,
             protocol_violations=violations,
+            timeline=timeline,
         )
 
 

@@ -30,18 +30,21 @@ from repro.telemetry.spans import RequestTrace, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system import SimulationResult
+    from repro.timeline.records import TimelineResult
 
 CAPTURE_VERSION = 1
 CAPTURE_FORMAT = "repro-telemetry"
 
-#: Chrome trace-event phases this exporter emits.
-_EMITTED_PHASES = {"M", "X", "i", "b", "e", "n"}
+#: Chrome trace-event phases this exporter emits ("C" = counter tracks
+#: from the windowed timeline).
+_EMITTED_PHASES = {"M", "X", "i", "b", "e", "n", "C"}
 
 #: pid layout: fixed bases keep ids deterministic and human-guessable.
 _PID_REQUESTS = 1
 _PID_DIMM_BASE = 100
 _PID_LINKS_BASE = 2000
 _PID_PROFILER = 3000
+_PID_TIMELINE = 4000
 
 
 @dataclass
@@ -54,6 +57,8 @@ class TelemetryCapture:
     commands: List[CheckEvent] = field(default_factory=list)
     samples: List[Dict[str, object]] = field(default_factory=list)
     profile: List[Dict[str, object]] = field(default_factory=list)
+    #: Encoded WindowRecord dicts from a timeline-enabled run.
+    timeline: List[Dict[str, object]] = field(default_factory=list)
 
 
 def run_meta(result: "SimulationResult") -> Dict[str, object]:
@@ -100,11 +105,17 @@ def build_capture(
     (``controller.collect_check_events()``); tracing enables journalling
     automatically, so it is available on every traced run.
     """
+    from repro.serialize import encode_value
+
     metrics = registry_from_stats(result.mem).snapshot()
     metrics.update(tracer.registry.snapshot())
     meta = run_meta(result)
     meta["traced_requests"] = len(tracer.requests)
     meta["dropped_requests"] = tracer.dropped
+    timeline: List[Dict[str, object]] = []
+    if result.timeline is not None:
+        meta["timeline_window_ps"] = result.timeline.window_ps
+        timeline = [encode_value(w) for w in result.timeline.windows]
     return TelemetryCapture(
         meta=meta,
         metrics=metrics,
@@ -112,6 +123,7 @@ def build_capture(
         commands=sorted(check_events or [], key=lambda e: e.time_ps),
         samples=list(samples or []),
         profile=list(profile or []),
+        timeline=timeline,
     )
 
 
@@ -146,6 +158,9 @@ def save_capture(path: Union[str, Path], capture: TelemetryCapture) -> int:
         for site in capture.profile:
             handle.write(json.dumps({"type": "profile", **site}) + "\n")
             count += 1
+        for window in capture.timeline:
+            handle.write(json.dumps({"type": "window", **window}) + "\n")
+            count += 1
     return count
 
 
@@ -177,6 +192,8 @@ def load_capture(path: Union[str, Path]) -> TelemetryCapture:
                     capture.samples.append(record)
                 elif kind == "profile":
                     capture.profile.append(record)
+                elif kind == "window":
+                    capture.timeline.append(record)
                 else:
                     raise ValueError(f"unknown record type {kind!r}")
             except (TypeError, ValueError, KeyError) as exc:
@@ -343,6 +360,49 @@ def chrome_trace(capture: TelemetryCapture) -> Dict[str, object]:
                     "stack": ";".join(stack),
                     "events": int(record.get("events", 0)),
                 },
+            })
+
+    # -- timeline counter tracks (windowed bandwidth / power / queue) ---
+    if capture.timeline:
+        ensure_process(_PID_TIMELINE, "timeline (windowed counters)")
+        for window in capture.timeline:
+            start_ps = int(window.get("start_ps", 0))
+            duration = int(window.get("end_ps", 0)) - start_ps
+            if duration <= 0:
+                continue
+            traffic = int(window.get("bytes_read", 0)) + int(
+                window.get("bytes_written", 0)
+            )
+            dynamic_nj = (
+                float(window.get("energy_act_nj", 0.0))
+                + float(window.get("energy_rd_nj", 0.0))
+                + float(window.get("energy_wr_nj", 0.0))
+                + float(window.get("energy_refresh_nj", 0.0))
+            )
+            background_nj = float(window.get("energy_background_nj", 0.0))
+            duration_ns = duration / 1000.0
+            common = {"ph": "C", "pid": _PID_TIMELINE, "tid": 0,
+                      "cat": "timeline", "ts": _us(start_ps)}
+            events.append({
+                "name": "bandwidth",
+                "args": {"GB/s": traffic / duration_ns}, **common,
+            })
+            events.append({
+                "name": "queue depth",
+                "args": {"requests": int(window.get("queue_depth", 0))},
+                **common,
+            })
+            events.append({
+                "name": "power",
+                "args": {"dynamic W": dynamic_nj / duration_ns,
+                         "background W": background_nj / duration_ns},
+                **common,
+            })
+            events.append({
+                "name": "power-down",
+                "args": {
+                    "fraction": int(window.get("powerdown_ps", 0)) / duration
+                }, **common,
             })
 
     events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))  # type: ignore[index]

@@ -257,6 +257,13 @@ class MetricsRegistry:
         return records
 
 
+def _dynamic_energy_units(stats: MemSystemStats) -> float:
+    """Per-command dynamic energy of a finished run (fig13's basis)."""
+    from repro.power.energy import CommandEnergyModel
+
+    return CommandEnergyModel().energy_of(stats)
+
+
 def registry_from_stats(
     stats: MemSystemStats, registry: Optional[MetricsRegistry] = None
 ) -> MetricsRegistry:
@@ -291,8 +298,18 @@ def registry_from_stats(
          stats.bytes_written),
         ("mem.activates", "ACT/PRE pairs at the DRAM devices", stats.activates),
         ("mem.column_accesses", "RD/WR column commands", stats.column_accesses),
+        ("mem.column_reads", "RD share of the column commands",
+         stats.column_reads),
+        ("mem.column_writes", "WR share of the column commands",
+         stats.column_writes),
+        ("mem.refreshes", "all-bank refreshes at the DRAM devices",
+         stats.refreshes),
         ("mem.row_hits", "open-page row-buffer hits", stats.row_hits),
         ("mem.row_misses", "open-page row-buffer misses", stats.row_misses),
+        ("mem.idle_ps", "whole-subsystem idle time", stats.idle_ps),
+        ("mem.powerdown_ps", "idle time past the power-down threshold",
+         stats.powerdown_ps),
+        ("mem.idle_gaps", "entries into the all-idle state", stats.idle_gaps),
         ("mem.faults_injected", "corrupted transfer attempts on the links",
          stats.faults_injected),
         ("mem.faults_corrupted", "transfers that saw >= 1 corruption",
@@ -323,6 +340,10 @@ def registry_from_stats(
          derived.prefetch_coverage(stats)),
         ("mem.prefetch_efficiency", "#prefetch_hit / #prefetch",
          derived.prefetch_efficiency(stats)),
+        ("mem.dynamic_energy_units", "per-command dynamic energy",
+         _dynamic_energy_units(stats)),
+        ("mem.powerdown_residency", "power-down share of the idle time",
+         stats.powerdown_ps / stats.idle_ps if stats.idle_ps else 0.0),
     )
     for name, help, value in gauges:
         reg.gauge(name, help).set(value)

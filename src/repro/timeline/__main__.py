@@ -1,0 +1,8 @@
+"""``python -m repro.timeline`` entry point."""
+
+import sys
+
+from repro.timeline.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

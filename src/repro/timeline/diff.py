@@ -1,0 +1,129 @@
+"""Window-by-window comparison of two timelines.
+
+``repro timeline diff`` aligns two recorded runs on their shared window
+grid and reports where they diverge — built for the paper's two
+canonical A/B questions: what does AMB prefetching do to bandwidth,
+latency and power over time (prefetch-on vs off), and what does a
+faulted link's retry storm cost versus a clean run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.timeline.records import TimelineResult
+from repro.timeline.report import sparkline
+
+#: Per-window metrics compared by the diff (name, unit, decimals).
+DIFF_METRICS = (
+    ("bandwidth_gbs", "GB/s", 3),
+    ("avg_latency_ns", "ns", 1),
+    ("avg_power_w", "W", 3),
+    ("powerdown_fraction", "", 3),
+    ("queue_depth", "", 0),
+)
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """Summary of one metric across the aligned windows."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    max_abs_delta: float
+    max_delta_index: int  # window where the divergence peaks
+
+    @property
+    def mean_delta(self) -> float:
+        return self.mean_b - self.mean_a
+
+    @property
+    def relative(self) -> float:
+        """Mean delta relative to run A's mean (0 when A is flat zero)."""
+        return self.mean_delta / self.mean_a if self.mean_a else 0.0
+
+
+@dataclass(frozen=True)
+class TimelineDiff:
+    """Alignment outcome plus per-metric summaries."""
+
+    window_ps: int
+    aligned_windows: int
+    extra_a: int  # windows only run A has (it ran longer)
+    extra_b: int
+    metrics: List[MetricDiff] = field(default_factory=list)
+
+
+def diff_timelines(a: TimelineResult, b: TimelineResult) -> TimelineDiff:
+    """Align two timelines window-by-window and summarise the deltas.
+
+    Both runs must use the same window size — comparing mismatched grids
+    silently averages different spans and lies.  Runs of different
+    length are aligned on the common prefix; the extras are reported,
+    not dropped silently.
+    """
+    if a.window_ps != b.window_ps:
+        raise ValueError(
+            f"window size mismatch: {a.window_ps} ps vs {b.window_ps} ps;"
+            " re-record with a matching --window-ns"
+        )
+    n = min(len(a.windows), len(b.windows))
+    summaries: List[MetricDiff] = []
+    for metric, _unit, _dec in DIFF_METRICS:
+        series_a = a.series(metric)[:n]
+        series_b = b.series(metric)[:n]
+        if not n:
+            summaries.append(MetricDiff(metric, 0.0, 0.0, 0.0, 0))
+            continue
+        deltas = [vb - va for va, vb in zip(series_a, series_b)]
+        peak = max(range(n), key=lambda i: abs(deltas[i]))
+        summaries.append(MetricDiff(
+            metric=metric,
+            mean_a=sum(series_a) / n,
+            mean_b=sum(series_b) / n,
+            max_abs_delta=abs(deltas[peak]),
+            max_delta_index=peak,
+        ))
+    return TimelineDiff(
+        window_ps=a.window_ps,
+        aligned_windows=n,
+        extra_a=len(a.windows) - n,
+        extra_b=len(b.windows) - n,
+        metrics=summaries,
+    )
+
+
+def format_diff(
+    diff: TimelineDiff,
+    a: TimelineResult,
+    b: TimelineResult,
+    label_a: str = "A",
+    label_b: str = "B",
+    width: int = 60,
+) -> str:
+    """Render a diff: aligned span, per-metric table, paired sparklines."""
+    lines = [
+        f"timeline diff: {label_a} vs {label_b}"
+        f" ({diff.aligned_windows} aligned windows x"
+        f" {diff.window_ps / 1000.0:.1f} ns)"
+    ]
+    if diff.extra_a:
+        lines.append(f"  note: {label_a} has {diff.extra_a} extra windows"
+                     " past the aligned span")
+    if diff.extra_b:
+        lines.append(f"  note: {label_b} has {diff.extra_b} extra windows"
+                     " past the aligned span")
+    for summary, (metric, unit, dec) in zip(diff.metrics, DIFF_METRICS):
+        suffix = f" {unit}" if unit else ""
+        lines.append(
+            f"  {metric:<18} {label_a} {summary.mean_a:.{dec}f}{suffix}"
+            f" -> {label_b} {summary.mean_b:.{dec}f}{suffix}"
+            f"  ({summary.relative:+.1%}, peak |d|={summary.max_abs_delta:.{dec}f}"
+            f" at window {summary.max_delta_index})"
+        )
+        n = diff.aligned_windows
+        lines.append(f"    {label_a:>2} |{sparkline(a.series(metric)[:n], width)}|")
+        lines.append(f"    {label_b:>2} |{sparkline(b.series(metric)[:n], width)}|")
+    return "\n".join(lines)

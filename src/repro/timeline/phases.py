@@ -1,0 +1,101 @@
+"""Phase-change detection over a timeline (windowed mean shift).
+
+Programs alternate between compute- and memory-bound phases; the paper's
+prefetch gains and power-down residency both track those phases.  The
+detector slides two adjacent half-windows over a per-window metric
+series (bandwidth, power, ...) and flags the boundaries where the means
+shift by more than a relative threshold — picking only the locally
+strongest shift so one real transition yields one change point, not a
+run of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.timeline.records import TimelineResult
+
+
+@dataclass(frozen=True)
+class PhaseChange:
+    """One detected mean shift in a per-window metric."""
+
+    metric: str
+    window_index: int  # first window of the new phase
+    time_ps: int  # start of that window
+    before: float  # mean over the half-window preceding the shift
+    after: float  # mean over the half-window following it
+
+    @property
+    def relative_shift(self) -> float:
+        """|after - before| relative to the larger of the two means."""
+        scale = max(abs(self.before), abs(self.after))
+        return abs(self.after - self.before) / scale if scale else 0.0
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _shift_scores(series: Sequence[float], half: int) -> List[Tuple[float, float, float]]:
+    """(score, before, after) at each candidate index; 0 where undefined."""
+    scores: List[Tuple[float, float, float]] = []
+    for i in range(len(series)):
+        if i < half or i + half > len(series):
+            scores.append((0.0, 0.0, 0.0))
+            continue
+        before = _mean(series[i - half:i])
+        after = _mean(series[i:i + half])
+        scale = max(abs(before), abs(after))
+        score = abs(after - before) / scale if scale else 0.0
+        scores.append((score, before, after))
+    return scores
+
+
+def detect_phases(
+    timeline: TimelineResult,
+    metrics: Sequence[str] = ("bandwidth_gbs", "avg_power_w"),
+    half_window: int = 4,
+    threshold: float = 0.5,
+) -> List[PhaseChange]:
+    """Find mean-shift change points in the given per-window metrics.
+
+    Args:
+        timeline: The recorded timeline.
+        metrics: WindowRecord attribute names to scan.
+        half_window: Windows averaged on each side of a candidate
+            boundary; shifts shorter than this are smoothed away.
+        threshold: Minimum relative mean shift (0.5 = 50%).
+
+    Returns:
+        Change points sorted by time then metric name — deterministic
+        for a given timeline.
+    """
+    if half_window < 1:
+        raise ValueError(f"half_window must be >= 1, got {half_window}")
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    changes: List[PhaseChange] = []
+    for metric in metrics:
+        series = timeline.series(metric)
+        scores = _shift_scores(series, half_window)
+        for i, (score, before, after) in enumerate(scores):
+            if score < threshold:
+                continue
+            # Keep only local maxima of the shift score: a genuine step
+            # produces high scores at every index near the edge, and the
+            # largest one marks the boundary itself.
+            left = scores[i - 1][0] if i > 0 else 0.0
+            right = scores[i + 1][0] if i + 1 < len(scores) else 0.0
+            if score < left or score <= right:
+                continue
+            changes.append(PhaseChange(
+                metric=metric,
+                window_index=i,
+                time_ps=timeline.windows[i].start_ps,
+                before=before,
+                after=after,
+            ))
+    changes.sort(key=lambda c: (c.time_ps, c.metric))
+    return changes
