@@ -1,0 +1,241 @@
+"""Differential conformance suite: the engine's exact behaviour, digested.
+
+Every case below runs one or more simulations and folds their
+``SimulationResult.canonical_json()`` texts into a SHA-256 digest that is
+committed in ``tests/goldens/engine_conformance.json``.  The digests were
+recorded *before* the hot-path rewrite (PR 8) and must never drift: any
+refactor of the engine, DRAM, channel, controller or workload layers is
+only legal while every digest stays bit-identical.
+
+Coverage:
+
+* every ``repro bench`` scenario's system configuration (the sweep
+  scenarios share one 4-point prefetch sweep, digested serially);
+* a deterministic slice of every figure module's ``plan(ctx)`` — all
+  unique planned runs, normalised the way the experiments layer does;
+* the off-by-default subsystems that ride the hot path when enabled:
+  a faulted run, a timeline-enabled run and a ``check_protocol=True`` run.
+
+Regenerate after an *intentional* model change with::
+
+    PYTHONPATH=src python tests/test_engine_conformance.py --refresh
+
+and review the goldens diff like any other code change.
+"""
+
+import dataclasses
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.scenarios import _sweep_pairs
+from repro.config import (
+    SystemConfig,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
+from repro.experiments import (
+    ablations,
+    fig04_smt_speedup,
+    fig05_bw_latency,
+    fig06_bandwidth_impact,
+    fig07_amb_speedup,
+    fig08_coverage,
+    fig09_decomposition,
+    fig10_bw_latency_ap,
+    fig11_sensitivity,
+    fig12_sw_prefetch,
+    fig13_power,
+    hw_prefetch,
+    prefetch_location,
+)
+from repro.experiments.runner import ExperimentContext
+from repro.serialize import canonical_dumps
+from repro.system import run_system
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "engine_conformance.json"
+
+#: Budgets are small — a conformance case pins behaviour, not statistics —
+#: but large enough that prefetch fills, write drains, faults and windows
+#: all actually happen.
+BENCH_INSTS = 2000
+PLAN_INSTS = 1500
+SEED = 12345
+
+_BENCH_PROGRAMS = ("wupwise", "swim", "mgrid", "applu")
+
+_FIGURE_PLANS = [
+    ("fig04", fig04_smt_speedup.plan),
+    ("fig05", fig05_bw_latency.plan),
+    ("fig06", fig06_bandwidth_impact.plan),
+    ("fig07", fig07_amb_speedup.plan),
+    ("fig08", fig08_coverage.plan),
+    ("fig09", fig09_decomposition.plan),
+    ("fig10", fig10_bw_latency_ap.plan),
+    ("fig11", fig11_sensitivity.plan),
+    ("fig12", fig12_sw_prefetch.plan),
+    ("fig13", fig13_power.plan),
+    ("ablations", ablations.plan),
+    ("location", prefetch_location.plan),
+    ("hwprefetch", hw_prefetch.plan),
+]
+
+
+def _budget(config: SystemConfig, instructions: int = BENCH_INSTS) -> SystemConfig:
+    return dataclasses.replace(
+        config, instructions_per_core=instructions, seed=SEED
+    )
+
+
+def _bench_cases() -> "dict[str, list]":
+    """The bench scenarios' configurations as (config, programs) pairs."""
+    two = ("wupwise", "swim")
+    return {
+        "bench:ddr2-1ch": [
+            (_budget(ddr2_baseline(num_cores=2, logic_channels=1)), two)
+        ],
+        "bench:fbd-4ch": [
+            (_budget(fbdimm_baseline(num_cores=4, logic_channels=4)),
+             _BENCH_PROGRAMS)
+        ],
+        "bench:fbd-4ch-ap": [
+            (_budget(fbdimm_amb_prefetch(num_cores=4, logic_channels=4)),
+             _BENCH_PROGRAMS)
+        ],
+        "bench:fbd-4ch-ap-timeline": [
+            (_budget(
+                fbdimm_amb_prefetch(num_cores=4, logic_channels=4)
+                .with_timeline(window_ns=1000.0)
+            ), _BENCH_PROGRAMS)
+        ],
+        "bench:fbd-4ch-ap-faults": [
+            (_budget(
+                fbdimm_amb_prefetch(num_cores=4, logic_channels=4)
+                .with_faults(error_rate=1e-2)
+            ), _BENCH_PROGRAMS)
+        ],
+        "bench:sweep": list(_sweep_pairs(BENCH_INSTS, SEED)),
+    }
+
+
+def _variant_cases() -> "dict[str, list]":
+    """Off-by-default hot-path variants: faulted, timeline, checked."""
+    faulted = fbdimm_amb_prefetch(num_cores=2, logic_channels=2).with_faults(
+        error_rate=5e-2, max_retries=3
+    )
+    timeline = ddr2_baseline(num_cores=2, logic_channels=1).with_timeline(
+        window_ns=500.0
+    )
+    checked = dataclasses.replace(
+        fbdimm_amb_prefetch(num_cores=2, logic_channels=2),
+        check_protocol=True,
+    )
+    two = ("wupwise", "swim")
+    return {
+        "variant:faulted": [(_budget(faulted), two)],
+        "variant:timeline": [(_budget(timeline), two)],
+        "variant:checked": [(_budget(checked), two)],
+    }
+
+
+def _figure_cases() -> "dict[str, list]":
+    """Every unique run in every figure module's quick-mode plan."""
+    cases = {}
+    for name, plan in _FIGURE_PLANS:
+        ctx = ExperimentContext(instructions=PLAN_INSTS, seed=SEED, quick=True)
+        unique = {
+            (ctx._normalize(config), tuple(programs))
+            for config, programs in plan(ctx)
+        }
+        cases[f"figure:{name}"] = sorted(
+            unique,
+            key=lambda pair: (canonical_dumps(pair[0].to_dict()), pair[1]),
+        )
+    return cases
+
+
+def conformance_cases() -> "dict[str, list]":
+    cases = {}
+    cases.update(_bench_cases())
+    cases.update(_variant_cases())
+    cases.update(_figure_cases())
+    return cases
+
+
+#: Case names are static (they do not depend on running anything), so the
+#: parametrized test ids stay stable for -k selection and the goldens file.
+CASE_NAMES = (
+    [name for name in _bench_cases()]
+    + [name for name in _variant_cases()]
+    + [f"figure:{name}" for name, _ in _FIGURE_PLANS]
+)
+
+
+def digest_case(pairs) -> "dict[str, object]":
+    """Run every (config, programs) pair serially and fold the digests."""
+    run_digests = []
+    for config, programs in pairs:
+        result = run_system(config, programs)
+        text = result.canonical_json()
+        run_digests.append(hashlib.sha256(text.encode()).hexdigest())
+    combined = hashlib.sha256("\n".join(run_digests).encode()).hexdigest()
+    return {"digest": combined, "runs": len(run_digests)}
+
+
+def load_goldens() -> "dict[str, dict]":
+    if not GOLDEN_PATH.exists():
+        raise FileNotFoundError(
+            f"{GOLDEN_PATH} missing; regenerate with "
+            "PYTHONPATH=src python tests/test_engine_conformance.py --refresh"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return load_goldens()
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return conformance_cases()
+
+
+class TestConformance:
+    def test_goldens_cover_every_case(self, goldens, cases):
+        assert set(goldens) == set(cases)
+        assert set(cases) == set(CASE_NAMES)
+
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_digest_matches_golden(self, name, goldens, cases):
+        golden = goldens[name]
+        actual = digest_case(cases[name])
+        assert actual["runs"] == golden["runs"], (
+            f"{name}: planned run count changed "
+            f"({golden['runs']} -> {actual['runs']})"
+        )
+        assert actual["digest"] == golden["digest"], (
+            f"{name}: simulated behaviour drifted from the pre-rewrite "
+            "golden; if intentional, refresh the goldens and review the diff"
+        )
+
+
+def refresh() -> None:
+    goldens = {}
+    for name, pairs in sorted(conformance_cases().items()):
+        goldens[name] = digest_case(pairs)
+        print(f"{name}: {goldens[name]['runs']} runs "
+              f"-> {goldens[name]['digest'][:16]}…")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--refresh" not in sys.argv:
+        sys.exit("usage: python tests/test_engine_conformance.py --refresh")
+    refresh()
