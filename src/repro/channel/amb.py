@@ -13,7 +13,6 @@ because its contents mirror this AMB's data array one-to-one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.config import MemoryConfig
@@ -27,9 +26,11 @@ from repro.dram.resources import BusResource
 from repro.dram.timing import TimingPs
 
 
-@dataclass
 class GroupFetch:
     """Outcome of a demand miss under AMB prefetching.
+
+    One is built per prefetch-mode demand miss, hence a plain
+    ``__slots__`` class rather than a dataclass.
 
     Attributes:
         demanded_start: Cut-through start of the demanded line's burst.
@@ -37,13 +38,24 @@ class GroupFetch:
         last_fill: When the whole group is resident in the AMB cache.
     """
 
-    demanded_start: int
-    fills: Dict[int, int]
-    last_fill: int
+    __slots__ = ("demanded_start", "fills", "last_fill")
+
+    def __init__(
+        self, demanded_start: int, fills: Dict[int, int], last_fill: int
+    ) -> None:
+        self.demanded_start = demanded_start
+        self.fills = fills
+        self.last_fill = last_fill
 
 
 class Amb:
     """One DIMM behind its Advanced Memory Buffer."""
+
+    __slots__ = (
+        "config", "timing", "dimm_id", "data_bus", "rank_timers", "banks",
+        "table", "pending_fills", "prefetched_lines", "faults",
+        "_banks_per_dimm", "_region_lines",
+    )
 
     def __init__(
         self,
@@ -55,6 +67,8 @@ class Amb:
         self.config = config
         self.timing = timing
         self.dimm_id = dimm_id
+        self._banks_per_dimm = config.banks_per_dimm
+        self._region_lines = config.prefetch.region_cachelines
         self.data_bus = BusResource(f"ch{channel_id}.dimm{dimm_id}.ddr2")
         # All ranks of the DIMM share the AMB's DDR2 bus; each rank has
         # its own cross-bank timer (tRRD/tWTR) and logic banks.
@@ -87,7 +101,7 @@ class Amb:
 
     def bank_of(self, mapped: MappedAddress) -> Bank:
         """The logic bank a mapped address lives in."""
-        return self.banks[mapped.rank * self.config.banks_per_dimm + mapped.bank]
+        return self.banks[mapped.rank * self._banks_per_dimm + mapped.bank]
 
     def timer_of(self, mapped: MappedAddress) -> RankTimer:
         """The rank-level timing tracker for a mapped address."""
@@ -132,7 +146,7 @@ class Amb:
             self.table.invalidate(line_addr)
         if self.table.lookup(line_addr):
             return 0
-        region = line_addr // self.config.prefetch.region_cachelines
+        region = line_addr // self._region_lines
         pending = self.pending_fills.get(region)
         if pending is not None and line_addr in pending:
             self.table.stats.hits += 1  # merged with an in-flight fill
@@ -142,7 +156,7 @@ class Amb:
     def group_order(self, demanded_line: int) -> List[int]:
         """The region's lines in fetch order: demanded first, rest by
         address (Section 3.2)."""
-        k = self.config.prefetch.region_cachelines
+        k = self._region_lines
         base = (demanded_line // k) * k
         return [demanded_line] + [
             line for line in range(base, base + k) if line != demanded_line
@@ -171,8 +185,7 @@ class Amb:
         simply issues multiple column accesses).
         """
         assert self.table is not None
-        k = self.config.prefetch.region_cachelines
-        region, _ = divmod(demanded_line, k)
+        region = demanded_line // self._region_lines
         order = self.group_order(demanded_line)
         result = self.group_read(earliest, mapped, order)
 
@@ -200,7 +213,7 @@ class Amb:
         if self.table is None:
             return
         self.table.invalidate(line_addr)
-        region = line_addr // self.config.prefetch.region_cachelines
+        region = line_addr // self._region_lines
         pending = self.pending_fills.get(region)
         if pending is not None:
             pending.pop(line_addr, None)

@@ -19,6 +19,11 @@ from repro.dram.timing import TimingPs
 class Ddr2Dimm:
     """One DIMM (one rank) on a shared DDR2 channel."""
 
+    __slots__ = (
+        "config", "timing", "dimm_id", "data_bus", "command_bus",
+        "_views", "rank_timers", "banks", "_banks_per_dimm", "_clock",
+    )
+
     def __init__(
         self,
         config: MemoryConfig,
@@ -31,6 +36,8 @@ class Ddr2Dimm:
         self.config = config
         self.timing = timing
         self.dimm_id = dimm_id
+        self._banks_per_dimm = config.banks_per_dimm
+        self._clock = timing.clock
         self.data_bus = shared_data_bus
         self.command_bus = shared_command_bus
         # Bursts from another rank or of the other direction pay the
@@ -48,7 +55,7 @@ class Ddr2Dimm:
 
     def bank_of(self, mapped: MappedAddress) -> Bank:
         """The logic bank a mapped address lives in."""
-        return self.banks[mapped.rank * self.config.banks_per_dimm + mapped.bank]
+        return self.banks[mapped.rank * self._banks_per_dimm + mapped.bank]
 
     def timer_of(self, mapped: MappedAddress) -> RankTimer:
         """The rank-level timing tracker for a mapped address."""
@@ -56,19 +63,28 @@ class Ddr2Dimm:
 
     def read_line(self, earliest: int, mapped: MappedAddress) -> AccessResult:
         """Read one cacheline; the command bus carries the ACT/RD pair."""
-        start = self.command_bus.reserve(earliest, self.timing.clock)
-        view = self._views[(mapped.rank, "rd")]
+        clock = self._clock
+        rank = mapped.rank
+        start = self.command_bus.reserve(earliest, clock)
         # The command is latched at the next DRAM clock edge.
-        return self.bank_of(mapped).read(
-            start + self.timing.clock, mapped.row, 1, view, self.timer_of(mapped)
+        return self.banks[rank * self._banks_per_dimm + mapped.bank].read(
+            start + clock,
+            mapped.row,
+            1,
+            self._views[(rank, "rd")],
+            self.rank_timers[rank],
         )
 
     def write_line(self, earliest: int, mapped: MappedAddress) -> AccessResult:
         """Write one cacheline over the shared data bus."""
-        start = self.command_bus.reserve(earliest, self.timing.clock)
-        view = self._views[(mapped.rank, "wr")]
-        return self.bank_of(mapped).write(
-            start + self.timing.clock, mapped.row, view, self.timer_of(mapped)
+        clock = self._clock
+        rank = mapped.rank
+        start = self.command_bus.reserve(earliest, clock)
+        return self.banks[rank * self._banks_per_dimm + mapped.bank].write(
+            start + clock,
+            mapped.row,
+            self._views[(rank, "wr")],
+            self.rank_timers[rank],
         )
 
     def bank_operation_counts(self) -> "tuple[int, int]":

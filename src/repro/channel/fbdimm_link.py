@@ -16,7 +16,6 @@ regardless of which DIMM answered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.channel.frames import NorthboundLink, SouthboundLink
@@ -27,9 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.retry import ChannelFaults
 
 
-@dataclass(frozen=True)
 class ReadReturn:
     """Timing of one cacheline travelling north.
+
+    Built once per read on the hot path, hence a plain ``__slots__``
+    class rather than a dataclass.
 
     Attributes:
         link_start: When the first frame enters the northbound link.
@@ -37,13 +38,30 @@ class ReadReturn:
         full_at_mc: Entire line at the controller.
     """
 
-    link_start: int
-    critical_at_mc: int
-    full_at_mc: int
+    __slots__ = ("link_start", "critical_at_mc", "full_at_mc")
+
+    def __init__(
+        self, link_start: int, critical_at_mc: int, full_at_mc: int
+    ) -> None:
+        self.link_start = link_start
+        self.critical_at_mc = critical_at_mc
+        self.full_at_mc = full_at_mc
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadReturn(link_start={self.link_start},"
+            f" critical_at_mc={self.critical_at_mc},"
+            f" full_at_mc={self.full_at_mc})"
+        )
 
 
 class FbdimmLinks:
     """South/northbound links of one physical FB-DIMM channel."""
+
+    __slots__ = (
+        "frame_ps", "command_delay_ps", "hop_ps", "n_dimms", "vrl",
+        "write_frames", "read_frames", "south", "north", "faults",
+    )
 
     def __init__(self, config: MemoryConfig, channel_id: int) -> None:
         self.frame_ps = config.frame_ps

@@ -150,6 +150,8 @@ def unpack_northbound_frame(raw: bytes) -> bytes:
 class SouthboundLink:
     """Frame allocator for the command/write-data link."""
 
+    __slots__ = ("name", "frame_ps", "_frames", "frames_used", "journal")
+
     def __init__(self, name: str, frame_ps: int) -> None:
         if frame_ps <= 0:
             raise ValueError("frame period must be positive")
@@ -187,11 +189,14 @@ class SouthboundLink:
         then; decode latency is the caller's command-delay constant).
         ``retry`` is the replay attempt number journalled for the checker.
         """
-        index = self._first_index_at(earliest)
+        frame_ps = self.frame_ps
+        frames = self._frames
+        get = frames.get
+        index = -(-earliest // frame_ps)  # ceil division
         while True:
-            state = self._frames.get(index)
+            state = get(index)
             if state is None:
-                self._frames[index] = [1, False]
+                frames[index] = [1, False]
                 self.frames_used += 1
                 break
             commands, has_data = state
@@ -200,7 +205,7 @@ class SouthboundLink:
                 state[0] += 1
                 break
             index += 1
-        start = self.frame_start_ps(index)
+        start = index * frame_ps
         if self.journal is not None:
             self.journal.append(("cmd", start, retry))
         return start
@@ -216,25 +221,30 @@ class SouthboundLink:
         """
         if frames_needed < 1:
             raise ValueError("need at least one data frame")
-        index = self._first_index_at(earliest)
+        frame_ps = self.frame_ps
+        frames = self._frames
+        get = frames.get
+        journal = self.journal
+        index = -(-earliest // frame_ps)  # ceil division
         first_start = None
         placed = 0
         while placed < frames_needed:
-            state = self._frames.get(index)
+            state = get(index)
             if state is None:
-                self._frames[index] = [0, True]
+                frames[index] = [0, True]
                 self.frames_used += 1
             elif not state[1] and state[0] <= COMMANDS_WITH_DATA:
                 state[1] = True
             else:
                 index += 1
                 continue
+            start = index * frame_ps
             if first_start is None:
-                first_start = self.frame_start_ps(index)
-            if self.journal is not None:
-                self.journal.append(("data", self.frame_start_ps(index), retry))
+                first_start = start
+            if journal is not None:
+                journal.append(("data", start, retry))
             placed += 1
-            last_end = self.frame_start_ps(index) + self.frame_ps
+            last_end = start + frame_ps
             index += 1
         assert first_start is not None
         return first_start, last_end
@@ -248,11 +258,13 @@ class SouthboundLink:
 
     def prune_before(self, time_ps: int) -> None:
         """Forget frames that ended at or before ``time_ps``."""
-        horizon = time_ps // self.frame_ps
-        stale = [idx for idx in self._frames if (idx + 1) * self.frame_ps <= time_ps]
+        frames = self._frames
+        if not frames:
+            return
+        frame_ps = self.frame_ps
+        stale = [idx for idx in frames if (idx + 1) * frame_ps <= time_ps]
         for idx in stale:
-            del self._frames[idx]
-        del horizon
+            del frames[idx]
 
 
 class NorthboundLink:
@@ -267,6 +279,8 @@ class NorthboundLink:
     northbound grid at that phase lets a just-ready burst catch a frame
     immediately — which is how the paper's 63/33 ns budgets count.
     """
+
+    __slots__ = ("name", "frame_ps", "phase_ps", "_taken", "frames_used", "journal")
 
     def __init__(self, name: str, frame_ps: int, phase_ps: int = 0) -> None:
         if frame_ps <= 0:
@@ -303,27 +317,40 @@ class NorthboundLink:
         """
         if frames_needed < 1:
             raise ValueError("need at least one frame")
-        index = self._first_index_at(earliest)
-        while True:
-            if all(index + k not in self._taken for k in range(frames_needed)):
-                for k in range(frames_needed):
-                    self._taken[index + k] = True
-                self.frames_used += frames_needed
-                start = self.frame_start_ps(index)
-                if self.journal is not None:
-                    self.journal.append(("line", start, frames_needed, retry))
-                return start, start + frames_needed * self.frame_ps
-            index += 1
+        frame_ps = self.frame_ps
+        phase_ps = self.phase_ps
+        taken = self._taken
+        index = -(-(earliest - phase_ps) // frame_ps)  # ceil division
+        if index < 0:
+            index = 0
+        if frames_needed == 2:
+            # One 64 B cacheline = two frames: the overwhelmingly common
+            # call, special-cased to two dict probes per candidate slot.
+            while index in taken or index + 1 in taken:
+                index += 1
+            taken[index] = True
+            taken[index + 1] = True
+        else:
+            while not all(index + k not in taken for k in range(frames_needed)):
+                index += 1
+            for k in range(frames_needed):
+                taken[index + k] = True
+        self.frames_used += frames_needed
+        start = index * frame_ps + phase_ps
+        if self.journal is not None:
+            self.journal.append(("line", start, frames_needed, retry))
+        return start, start + frames_needed * frame_ps
 
     @property
     def busy_ps(self) -> int:
         return self.frames_used * self.frame_ps
 
     def prune_before(self, time_ps: int) -> None:
-        stale = [
-            idx
-            for idx in self._taken
-            if self.frame_start_ps(idx) + self.frame_ps <= time_ps
-        ]
+        taken = self._taken
+        if not taken:
+            return
+        frame_ps = self.frame_ps
+        horizon = time_ps - self.phase_ps - frame_ps
+        stale = [idx for idx in taken if idx * frame_ps <= horizon]
         for idx in stale:
-            del self._taken[idx]
+            del taken[idx]

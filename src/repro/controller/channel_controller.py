@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
+from functools import partial
 from typing import TYPE_CHECKING, Deque, Iterable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +61,11 @@ class ChannelControllerBase:
         self.read_q: Deque[MemoryRequest] = deque()
         self.write_q: Deque[MemoryRequest] = deque()
         self.scheduler = HitFirstScheduler(config.write_drain_threshold)
+        # Cached bound methods for the kick loop: building the bound-method
+        # objects anew on every select call is measurable at this call rate.
+        self._select = self.scheduler.select
+        self._estimate_fn = self._estimate
+        self._is_hit_fn = self._is_hit
         # Separate read/write in-flight caps: a write drain may not
         # monopolise the issue pipeline and starve ready reads (writes are
         # posted; reads are latency-critical).
@@ -67,7 +73,12 @@ class ChannelControllerBase:
         self.max_write_inflight = max(4, config.dimms_per_channel)
         self.inflight_reads = 0
         self.inflight_writes = 0
-        self._wake = None  # pending kick event, at most one outstanding
+        self._wake = None  # pending future kick event, at most one outstanding
+        #: Tick for which a handle-free same-tick kick is already queued.
+        #: A kick at the current time can never be preempted by an earlier
+        #: one, so it needs no cancellation handle — only this dedupe mark.
+        self._wake_now_tick = -1
+        self._pruned_at = -1  # last tick _prune ran (idempotent within one)
         #: Optional request-lifecycle tracer (assigned by MemoryController);
         #: every hook site is a no-op when this stays None.
         self.tracer: "Optional[Tracer]" = None
@@ -89,18 +100,33 @@ class ChannelControllerBase:
     # -- scheduling loop --------------------------------------------------
 
     def _request_kick(self, time: int) -> None:
-        if self._wake is not None and not self._wake.cancelled:
-            if self._wake.time <= time:
+        now = self.sim.now
+        if self._wake_now_tick == now:
+            return  # a kick for this very tick is already queued
+        wake = self._wake
+        if wake is not None and not wake.cancelled:
+            if wake.time <= time:
                 return
-            self._wake.cancel()
-        self._wake = self.sim.schedule_at(time, self._kick)
+            wake.cancel()
+            self._wake = None
+        if time <= now:
+            self._wake_now_tick = now
+            self.sim.schedule_fire(now, self._kick)
+        else:
+            self._wake = self.sim.schedule_at(time, self._kick)
 
     _EMPTY: Deque[MemoryRequest] = deque()
 
     def _kick(self) -> None:
         self._wake = None
+        self._wake_now_tick = -1
         now = self.sim.now
-        self._prune(now)
+        if now != self._pruned_at:
+            # prune_before(now) is idempotent at a fixed now (reservations
+            # never end in the past), so repeated kicks within one tick
+            # skip the rescan without changing any backfill search.
+            self._prune(now)
+            self._pruned_at = now
         while True:
             reads = self.read_q if self.inflight_reads < self.max_read_inflight else self._EMPTY
             writes = (
@@ -110,8 +136,8 @@ class ChannelControllerBase:
             )
             if not reads and not writes:
                 return
-            choice = self.scheduler.select(
-                now, reads, writes, self._estimate, self._is_hit
+            choice = self._select(
+                now, reads, writes, self._estimate_fn, self._is_hit_fn
             )
             if choice is None:
                 return
@@ -151,13 +177,13 @@ class ChannelControllerBase:
             def loop(banks: Sequence[Bank] = banks) -> None:
                 for bank in banks:
                     bank.refresh(self.sim.now, trfc)
-                self.sim.schedule(interval, lambda: loop(banks))
+                self.sim.schedule_fire(self.sim.now + interval, lambda: loop(banks))
 
-            self.sim.schedule_at(offset + interval, lambda b=banks: loop(b))
+            self.sim.schedule_fire(offset + interval, lambda b=banks: loop(b))
 
     def _finish_at(self, req: MemoryRequest, finish_time: int) -> None:
         """Schedule the completion event for an issued transaction."""
-        self.sim.schedule_at(finish_time, lambda: self._complete(req))
+        self.sim.schedule_fire(finish_time, partial(self._complete, req))
 
     def _complete(self, req: MemoryRequest) -> None:
         if req.kind is RequestKind.WRITE:
@@ -259,17 +285,27 @@ class Ddr2ChannelController(ChannelControllerBase):
         self._start_refresh([dimm.banks for dimm in self.dimms])
 
     def _prune(self, now: int) -> None:
-        self.data_bus.prune_before(now)
-        self.command_bus.prune_before(now)
+        # Emptiness guards saved here beat the (very frequent) no-op calls.
+        if len(self.data_bus._intervals) > 1:
+            self.data_bus.prune_before(now)
+        if self.command_bus._intervals:
+            self.command_bus.prune_before(now)
 
     def _estimate(self, req: MemoryRequest) -> int:
-        dimm = self.dimms[req.mapped.dimm]
-        bank = dimm.bank_of(req.mapped)
-        return bank.earliest_start(self.sim.now, req.mapped.row, dimm.timer_of(req.mapped))
+        mapped = req.mapped
+        dimm = self.dimms[mapped.dimm]
+        rank = mapped.rank
+        bank = dimm.banks[rank * dimm._banks_per_dimm + mapped.bank]
+        return bank.earliest_start(
+            self.sim.now, mapped.row, dimm.rank_timers[rank]
+        )
 
     def _is_hit(self, req: MemoryRequest) -> bool:
-        dimm = self.dimms[req.mapped.dimm]
-        return dimm.bank_of(req.mapped).is_row_hit(req.mapped.row)
+        mapped = req.mapped
+        dimm = self.dimms[mapped.dimm]
+        return dimm.banks[
+            mapped.rank * dimm._banks_per_dimm + mapped.bank
+        ].is_row_hit(mapped.row)
 
     def _issue(self, req: MemoryRequest) -> None:
         dimm = self.dimms[req.mapped.dimm]
@@ -338,6 +374,14 @@ class FbdimmChannelController(ChannelControllerBase):
         ]
         self._start_refresh([amb.banks for amb in self.ambs])
         self.prefetch = config.prefetch
+        self._pf_enabled = config.prefetch.enabled
+        self._region_lines = config.prefetch.region_cachelines
+        # One-entry probe memo: the scheduler always calls _estimate(req)
+        # before _is_hit(req) with no state change in between, so the
+        # second availability probe of the same request can reuse the
+        # first's answer.  _probe_cache stays side-effect-free either way.
+        self._probe_memo_req: Optional[MemoryRequest] = None
+        self._probe_memo_avail: Optional[int] = None
         #: CRC retry/replay engine (None keeps the exact seed timing path).
         self.faults: Optional[ChannelFaults] = None
         #: Request currently inside _issue — context for the retry tracer
@@ -372,10 +416,16 @@ class FbdimmChannelController(ChannelControllerBase):
             self.mc_table = PrefetchTable(scaled)
 
     def _prune(self, now: int) -> None:
-        self.links.north.prune_before(now)
-        self.links.south.prune_before(now)
+        # Emptiness guards saved here beat the (very frequent) no-op calls.
+        links = self.links
+        if links.north._taken:
+            links.north.prune_before(now)
+        if links.south._frames:
+            links.south.prune_before(now)
         for amb in self.ambs:
-            amb.data_bus.prune_before(now)
+            bus = amb.data_bus
+            if bus._intervals:
+                bus.prune_before(now)
 
     # -- estimates ---------------------------------------------------------
 
@@ -384,7 +434,7 @@ class FbdimmChannelController(ChannelControllerBase):
 
     def _probe_cache(self, amb: Amb, line_addr: int) -> Optional[int]:
         """Stat-free availability probe used while scheduling."""
-        region = line_addr // self.prefetch.region_cachelines
+        region = line_addr // self._region_lines
         if self.mc_table is not None:
             if self.mc_table.contains(line_addr):
                 return 0
@@ -408,25 +458,45 @@ class FbdimmChannelController(ChannelControllerBase):
         stops filling) its prefetch caches: demand reads fall back to the
         plain FB-DIMM path until the end of the run.
         """
-        if not self.prefetch.enabled:
+        if not self._pf_enabled:
             return False
-        return self.faults is None or not self.faults.degraded
+        faults = self.faults
+        return faults is None or not faults.degraded
 
     def _estimate(self, req: MemoryRequest) -> int:
-        amb = self._amb_for(req)
-        if self._prefetch_active() and req.kind.is_read:
+        mapped = req.mapped
+        amb = self.ambs[mapped.dimm]
+        # Inlined _prefetch_active() + _probe_cache(): this runs once per
+        # scheduler candidate per kick, the hottest probe in the FBD model.
+        if req.kind is not RequestKind.WRITE and self._pf_enabled and (
+            self.faults is None or not self.faults.degraded
+        ):
             avail = self._probe_cache(amb, req.line_addr)
+            self._probe_memo_req = req
+            self._probe_memo_avail = avail
             if avail is not None:
-                return max(self.sim.now, avail)
-        bank = amb.bank_of(req.mapped)
-        return bank.earliest_start(self.sim.now, req.mapped.row, amb.timer_of(req.mapped))
+                now = self.sim.now
+                return now if now >= avail else avail
+        bank = amb.banks[mapped.rank * amb._banks_per_dimm + mapped.bank]
+        return bank.earliest_start(
+            self.sim.now, mapped.row, amb.rank_timers[mapped.rank]
+        )
 
     def _is_hit(self, req: MemoryRequest) -> bool:
-        amb = self._amb_for(req)
-        if (self._prefetch_active() and req.kind.is_read
-                and self._probe_cache(amb, req.line_addr) is not None):
-            return True
-        return amb.bank_of(req.mapped).is_row_hit(req.mapped.row)
+        mapped = req.mapped
+        amb = self.ambs[mapped.dimm]
+        if req.kind is not RequestKind.WRITE and self._pf_enabled and (
+            self.faults is None or not self.faults.degraded
+        ):
+            if self._probe_memo_req is req:
+                avail = self._probe_memo_avail
+            else:
+                avail = self._probe_cache(amb, req.line_addr)
+            if avail is not None:
+                return True
+        return amb.banks[
+            mapped.rank * amb._banks_per_dimm + mapped.bank
+        ].is_row_hit(mapped.row)
 
     # -- issue paths ---------------------------------------------------------
 
@@ -495,9 +565,7 @@ class FbdimmChannelController(ChannelControllerBase):
             self.tracer.on_data(req, group.demanded_start)
         ret = self.links.return_read(group.demanded_start, req.mapped.dimm)
         region = req.line_addr // self.prefetch.region_cachelines
-        self.sim.schedule_at(
-            group.last_fill, lambda a=amb, r=region: a.commit_fills(r)
-        )
+        self.sim.schedule_fire(group.last_fill, partial(amb.commit_fills, region))
         self._finish_at(req, ret.critical_at_mc)
 
     def _issue_read_mc_prefetching(self, req: MemoryRequest) -> None:
@@ -550,7 +618,7 @@ class FbdimmChannelController(ChannelControllerBase):
                 if done:
                     self.mc_table.insert(done.keys())
 
-            self.sim.schedule_at(last_fill, commit)
+            self.sim.schedule_fire(last_fill, commit)
         self._finish_at(req, demanded_finish)
 
     def enable_protocol_trace(self) -> None:

@@ -10,6 +10,7 @@ feel when the memory system saturates.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.config import FaultConfig, MemoryConfig, MemoryKind
@@ -179,7 +180,7 @@ class MemoryController:
         req.schedulable_at = ready
         if self.tracer is not None:
             self.tracer.on_schedulable(req, ready)
-        self.sim.schedule_at(ready, lambda: channel.submit(req))
+        self.sim.schedule_fire(ready, partial(channel.submit, req))
 
     # ------------------------------------------------------------------
 

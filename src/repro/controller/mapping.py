@@ -16,14 +16,19 @@ arithmetic and fully invertible (tested by a hypothesis round-trip property).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any
 
 from repro.config import MemoryConfig
 
 
-@dataclass(frozen=True)
 class MappedAddress:
     """Where one cacheline lives in the memory system.
+
+    A plain ``__slots__`` class: one is built per memory request on the
+    submit hot path, where slot assignment beats a frozen dataclass's
+    per-field ``object.__setattr__``.  Instances are value-equal and
+    hashable like the old frozen dataclass, but not immutable — nothing
+    in the simulator mutates a mapped address after construction.
 
     Attributes:
         channel: Physical channel index.
@@ -37,14 +42,50 @@ class MappedAddress:
         line_in_region: Position of this line within its region.
     """
 
-    channel: int
-    dimm: int
-    rank: int
-    bank: int
-    row: int
-    line_in_page: int
-    region: int
-    line_in_region: int
+    __slots__ = (
+        "channel", "dimm", "rank", "bank", "row",
+        "line_in_page", "region", "line_in_region",
+    )
+
+    def __init__(
+        self,
+        channel: int,
+        dimm: int,
+        rank: int,
+        bank: int,
+        row: int,
+        line_in_page: int,
+        region: int,
+        line_in_region: int,
+    ) -> None:
+        self.channel = channel
+        self.dimm = dimm
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.line_in_page = line_in_page
+        self.region = region
+        self.line_in_region = line_in_region
+
+    def _key(self) -> "tuple[int, ...]":
+        return (
+            self.channel, self.dimm, self.rank, self.bank, self.row,
+            self.line_in_page, self.region, self.line_in_region,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            "MappedAddress(channel={}, dimm={}, rank={}, bank={}, row={},"
+            " line_in_page={}, region={}, line_in_region={})".format(*self._key())
+        )
+
+    def __eq__(self, other: Any) -> Any:
+        if not isinstance(other, MappedAddress):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
 
 
 class AddressMapper:
@@ -70,23 +111,22 @@ class AddressMapper:
         """Map a cacheline address (line index) to DRAM coordinates."""
         if line_addr < 0:
             raise ValueError(f"line address must be non-negative: {line_addr}")
-        region, line_in_region = divmod(line_addr, self.region_lines)
+        region_lines = self.region_lines
+        region, line_in_region = divmod(line_addr, region_lines)
         rest, channel = divmod(region, self.channels)
         rest, dimm = divmod(rest, self.dimms)
         rest, rank = divmod(rest, self.ranks)
         local_region, bank = divmod(rest, self.banks)
         row_seq, region_in_page = divmod(local_region, self.regions_per_page)
-        row = row_seq % self.rows
-        line_in_page = region_in_page * self.region_lines + line_in_region
         return MappedAddress(
-            channel=channel,
-            dimm=dimm,
-            rank=rank,
-            bank=bank,
-            row=row,
-            line_in_page=line_in_page,
-            region=region,
-            line_in_region=line_in_region,
+            channel,
+            dimm,
+            rank,
+            bank,
+            row_seq % self.rows,
+            region_in_page * region_lines + line_in_region,
+            region,
+            line_in_region,
         )
 
     def region_of(self, line_addr: int) -> int:

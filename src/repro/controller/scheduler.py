@@ -68,32 +68,84 @@ class HitFirstScheduler:
             return None
         prefer_writes = self._writes_win(reads, writes)
 
+        # Issueable-now requests always beat future-ready ones (a request
+        # whose bank or fill frees later must not block the channel); among
+        # the issueable, the preferred kind wins, then hits beat misses,
+        # then oldest-first.  A ready request of the non-preferred kind
+        # still issues when the preferred queue has nothing ready — this is
+        # what lets FB-DIMM reads flow on the northbound link while a write
+        # drain streams down the independent southbound link.
+        #
+        # That ranking — lexicographic over (ready, preferred, row-hit,
+        # earliest-start, queue position) — lets the scan short-circuit:
+        # every ready candidate has earliest-start == now exactly, so the
+        # first ready row-hit in the preferred queue is globally optimal,
+        # a ready preferred miss beats the whole other queue, and the
+        # non-preferred queue's future candidates only matter when the
+        # preferred queue is empty.  estimate/row_hit are side-effect-free
+        # probes, so evaluating fewer of them cannot change the outcome.
+        if prefer_writes:
+            first, first_is_write = writes, True
+            second, second_is_write = reads, False
+        else:
+            first, first_is_write = reads, False
+            second, second_is_write = writes, True
+
+        ready_req: Optional[MemoryRequest] = None
+        futures: Optional[list] = None
+        for position, req in enumerate(first):
+            if position >= SCAN_WINDOW:
+                break
+            est = estimate(req)
+            if est < now:
+                est = now
+            if req.schedulable_at > est:
+                est = req.schedulable_at
+            if est <= now:
+                if row_hit(req):
+                    return req, est, first_is_write
+                if ready_req is None:
+                    ready_req = req
+            elif ready_req is None:
+                if futures is None:
+                    futures = []
+                futures.append((est, position, req))
+        if ready_req is not None:
+            return ready_req, now, first_is_write
+
+        ready2: Optional[MemoryRequest] = None
+        futures2: Optional[list] = None
+        for position, req in enumerate(second):
+            if position >= SCAN_WINDOW:
+                break
+            est = estimate(req)
+            if est < now:
+                est = now
+            if req.schedulable_at > est:
+                est = req.schedulable_at
+            if est <= now:
+                if row_hit(req):
+                    return req, est, second_is_write
+                if ready2 is None:
+                    ready2 = req
+            elif ready2 is None and futures is None:
+                if futures2 is None:
+                    futures2 = []
+                futures2.append((est, position, req))
+        if ready2 is not None:
+            return ready2, now, second_is_write
+
+        if futures is not None:
+            pool, pool_is_write = futures, first_is_write
+        else:
+            assert futures2 is not None
+            pool, pool_is_write = futures2, second_is_write
         best: Optional[MemoryRequest] = None
-        best_key: Optional[Tuple[int, int, int, int, int]] = None
+        best_key: Optional[Tuple[int, int, int]] = None
         best_est = 0
-        best_is_write = False
-        for queue, is_write in ((reads, False), (writes, True)):
-            preferred = is_write == prefer_writes
-            for position, req in enumerate(queue):
-                if position >= SCAN_WINDOW:
-                    break
-                est = max(estimate(req), now, req.schedulable_at)
-                # Issueable-now requests always beat future-ready ones (a
-                # request whose bank or fill frees later must not block the
-                # channel); among the issueable, the preferred kind wins,
-                # then hits beat misses, then oldest-first.  A ready request
-                # of the non-preferred kind still issues when the preferred
-                # queue has nothing ready — this is what lets FB-DIMM reads
-                # flow on the northbound link while a write drain streams
-                # down the independent southbound link.
-                key = (
-                    0 if est <= now else 1,
-                    0 if preferred else 1,
-                    0 if row_hit(req) else 1,
-                    est,
-                    position,
-                )
-                if best_key is None or key < best_key:
-                    best, best_key, best_est, best_is_write = req, key, est, is_write
+        for est, position, req in pool:
+            key = (0 if row_hit(req) else 1, est, position)
+            if best_key is None or key < best_key:
+                best, best_key, best_est = req, key, est
         assert best is not None
-        return best, best_est, best_is_write
+        return best, best_est, pool_is_write

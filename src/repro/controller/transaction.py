@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.controller.mapping import MappedAddress
@@ -30,27 +29,52 @@ class RequestKind(enum.Enum):
         return self is not RequestKind.WRITE
 
 
-@dataclass
 class MemoryRequest:
     """One cacheline-sized transaction travelling through the controller.
 
     Timestamps (all picoseconds, -1 until set) let the stats layer compute
     queueing delay vs service time without re-deriving anything.
+
+    Identity semantics: ``req_id`` is unique per request, so equality is
+    identity — which keeps the controllers' ``deque.remove`` calls at
+    pointer-compare cost on the issue hot path.
     """
 
-    kind: RequestKind
-    line_addr: int
-    core_id: int
-    arrival: int
-    mapped: Optional[MappedAddress] = None
-    on_complete: Optional[Callable[["MemoryRequest"], None]] = None
-    req_id: int = field(default_factory=lambda: next(_request_ids))
+    __slots__ = (
+        "kind", "line_addr", "core_id", "arrival", "mapped", "on_complete",
+        "req_id", "schedulable_at", "issue_time", "finish_time",
+        "amb_hit", "row_hit",
+    )
 
-    schedulable_at: int = -1  # arrival + controller overhead
-    issue_time: int = -1  # first DRAM/AMB command for this request
-    finish_time: int = -1  # critical data at the controller / write retired
-    amb_hit: bool = False  # served from the AMB cache
-    row_hit: bool = False  # open-page row-buffer hit
+    def __init__(
+        self,
+        kind: RequestKind,
+        line_addr: int,
+        core_id: int,
+        arrival: int,
+        mapped: Optional[MappedAddress] = None,
+        on_complete: Optional[Callable[["MemoryRequest"], None]] = None,
+        req_id: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.line_addr = line_addr
+        self.core_id = core_id
+        self.arrival = arrival
+        self.mapped = mapped
+        self.on_complete = on_complete
+        self.req_id = next(_request_ids) if req_id is None else req_id
+        self.schedulable_at = -1  # arrival + controller overhead
+        self.issue_time = -1  # first DRAM/AMB command for this request
+        self.finish_time = -1  # critical data at the controller / write retired
+        self.amb_hit = False  # served from the AMB cache
+        self.row_hit = False  # open-page row-buffer hit
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryRequest(kind={self.kind!r}, line_addr={self.line_addr},"
+            f" core_id={self.core_id}, arrival={self.arrival},"
+            f" req_id={self.req_id})"
+        )
 
     @property
     def latency(self) -> int:

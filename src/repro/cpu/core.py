@@ -52,6 +52,15 @@ class CoreStats:
 class Core:
     """One simulated processor core running one program trace."""
 
+    __slots__ = (
+        "sim", "core_id", "config", "base_ipc", "trace", "controller",
+        "l2", "l2_mshr", "data_mshr", "target", "on_finished",
+        "warmup_target", "on_warmup", "_warmup_fired", "ps_per_inst",
+        "progress_inst", "progress_time", "pending", "_pending_inst",
+        "_pending_action", "outstanding_reads", "stores_outstanding",
+        "blocked", "finished", "stats", "_recent_misses", "_recent_miss_cap",
+    )
+
     _merge_tokens = itertools.count(1)
 
     def __init__(
@@ -162,8 +171,11 @@ class Core:
             self.blocked = "rob"
             return  # a read completion re-invokes us
         self.blocked = None
-        due = max(self.sim.now, self._time_to_reach(self._pending_inst))
-        self.sim.schedule_at(due, self._pending_action)
+        now = self.sim.now
+        due = self.progress_time + round(
+            (self._pending_inst - self.progress_inst) * self.ps_per_inst
+        )
+        self.sim.schedule_fire(due if due > now else now, self._pending_action)
 
     def _finish(self) -> None:
         if self.finished:

@@ -13,11 +13,19 @@ It enforces the Table 2 constraints and supports both page policies:
 A multi-cacheline group fetch (the AMB issuing K pipelined column accesses,
 Section 3.2) is a single ACT followed by K reads whose bursts queue on the
 DIMM data bus.
+
+Hot-path layout: every class here carries ``__slots__``, and the per-issue
+constraint arithmetic consumes the offsets precomputed by
+:meth:`~repro.dram.timing.TimingPs.per_command_table` (materialised as
+plain instance integers at construction) instead of re-deriving them from
+the individual Table 2 constraints on every command.  The pre-rewrite
+branchy implementation survives as ``tests/_legacy_bank.py``, the oracle
+the property suite differentials this file against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import insort
 from typing import List, Optional
 
 from repro.config import PagePolicy
@@ -26,20 +34,24 @@ from repro.dram.resources import BusResource
 from repro.dram.timing import TimingPs
 
 
-@dataclass
 class BankStats:
     """DRAM operation counters, the input to the power model (Section 5.5)."""
 
-    activates: int = 0
-    precharges: int = 0
-    reads: int = 0
-    writes: int = 0
-    row_hits: int = 0
-    row_misses: int = 0
-    refreshes: int = 0
+    __slots__ = (
+        "activates", "precharges", "reads", "writes",
+        "row_hits", "row_misses", "refreshes",
+    )
+
+    def __init__(self) -> None:
+        self.activates = 0
+        self.precharges = 0
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.refreshes = 0
 
 
-@dataclass
 class RankTimer:
     """Cross-bank constraints shared by the banks of one rank.
 
@@ -54,21 +66,29 @@ class RankTimer:
     gated on the writes known *when it issued*, not on this one.
     """
 
-    next_act_ok: int = 0
-    read_ok_after_write: int = 0
-    pending_rd_cmds: List[int] = field(default_factory=list)
+    __slots__ = ("next_act_ok", "read_ok_after_write", "pending_rd_cmds")
+
+    def __init__(self) -> None:
+        self.next_act_ok = 0
+        self.read_ok_after_write = 0
+        self.pending_rd_cmds: List[int] = []
 
     def act_gate(self, earliest: int) -> int:
         """Earliest time an ACT may issue respecting tRRD."""
-        return max(earliest, self.next_act_ok)
+        gate = self.next_act_ok
+        return earliest if earliest >= gate else gate
 
     def note_act(self, act_time: int, tRRD: int) -> None:
         """Record an ACT so the next one (any bank) waits tRRD."""
-        self.next_act_ok = max(self.next_act_ok, act_time + tRRD)
+        ok = act_time + tRRD
+        if ok > self.next_act_ok:
+            self.next_act_ok = ok
 
     def note_write_data_end(self, end_time: int, tWTR: int) -> None:
         """Record the end of a write burst; reads must wait tWTR."""
-        self.read_ok_after_write = max(self.read_ok_after_write, end_time + tWTR)
+        ok = end_time + tWTR
+        if ok > self.read_ok_after_write:
+            self.read_ok_after_write = ok
 
     def note_read_cmd(self, cmd_time: int, now: int) -> None:
         """Record a committed RD command instant.
@@ -77,21 +97,22 @@ class RankTimer:
         (writes always place their command at or after the current time),
         so they are dropped here to keep the list at in-flight size.
         """
-        if self.pending_rd_cmds and self.pending_rd_cmds[0] <= now:
-            self.pending_rd_cmds = [c for c in self.pending_rd_cmds if c > now]
-        self.pending_rd_cmds.append(cmd_time)
-        self.pending_rd_cmds.sort()
+        cmds = self.pending_rd_cmds
+        if cmds and cmds[0] <= now:
+            self.pending_rd_cmds = cmds = [c for c in cmds if c > now]
+        insort(cmds, cmd_time)
 
     def read_in_window(self, wr_cmd: int, window_end: int) -> Optional[int]:
         """Latest committed read command in ``[wr_cmd, window_end)``."""
         hit: Optional[int] = None
-        for cmd in self.pending_rd_cmds:
-            if wr_cmd <= cmd < window_end:
+        for cmd in self.pending_rd_cmds:  # sorted ascending
+            if cmd >= window_end:
+                break
+            if cmd >= wr_cmd:
                 hit = cmd
         return hit
 
 
-@dataclass
 class AccessResult:
     """Timing outcome of one bank access.
 
@@ -103,14 +124,34 @@ class AccessResult:
         row_hit: True when an open-page access found the row already open.
     """
 
-    command_start: int
-    data_times: List[int] = field(default_factory=list)
-    data_starts: List[int] = field(default_factory=list)
-    row_hit: bool = False
+    __slots__ = ("command_start", "data_times", "data_starts", "row_hit")
+
+    def __init__(
+        self,
+        command_start: int,
+        data_times: Optional[List[int]] = None,
+        data_starts: Optional[List[int]] = None,
+        row_hit: bool = False,
+    ) -> None:
+        self.command_start = command_start
+        self.data_times: List[int] = [] if data_times is None else data_times
+        self.data_starts: List[int] = [] if data_starts is None else data_starts
+        self.row_hit = row_hit
 
 
 class Bank:
     """State machine for one logic DRAM bank."""
+
+    __slots__ = (
+        "bank_id", "timing", "page_policy",
+        "open_row", "ready_at", "column_ok", "precharge_ok",
+        "stats", "command_log",
+        # Precomputed timing table (per_command_table) plus the raw
+        # constraints the row phase needs, as plain integers.
+        "_open_page", "_rd_data_lead", "_rd_drain_step", "_rd_col_gate",
+        "_wr_data_lead", "_wr_turnaround", "_wr_col_gate", "_retry_step",
+        "_tRP", "_tRCD", "_tRRD", "_tRAS", "_tRC", "_tRPD", "_tWPD",
+    )
 
     def __init__(self, bank_id: int, timing: TimingPs, page_policy: PagePolicy) -> None:
         self.bank_id = bank_id
@@ -124,6 +165,22 @@ class Bank:
         #: Optional per-command log (enable_trace); None keeps the hot
         #: path allocation-free.
         self.command_log: Optional[List[CommandRecord]] = None
+        self._open_page = page_policy is PagePolicy.OPEN_PAGE
+        table = timing.per_command_table()
+        self._rd_data_lead = table["rd_data_lead"]
+        self._rd_drain_step = table["rd_drain_step"]
+        self._rd_col_gate = table["rd_col_gate"]
+        self._wr_data_lead = table["wr_data_lead"]
+        self._wr_turnaround = table["wr_turnaround"]
+        self._wr_col_gate = table["wr_col_gate"]
+        self._retry_step = table["retry_step"]
+        self._tRP = timing.tRP
+        self._tRCD = timing.tRCD
+        self._tRRD = timing.tRRD
+        self._tRAS = timing.tRAS
+        self._tRC = timing.tRC
+        self._tRPD = timing.tRPD
+        self._tWPD = timing.tWPD
 
     def enable_trace(self) -> None:
         """Record every issued DRAM command (debugging/verification aid)."""
@@ -142,18 +199,29 @@ class Bank:
 
     def is_row_hit(self, row: int) -> bool:
         """Whether an open-page access to ``row`` would skip ACT."""
-        return self.page_policy is PagePolicy.OPEN_PAGE and self.open_row == row
+        return self._open_page and self.open_row == row
 
     def earliest_start(self, now: int, row: int, rank: RankTimer) -> int:
         """Estimate when the command chain for ``row`` could begin."""
-        if self.page_policy is PagePolicy.CLOSE_PAGE:
-            return rank.act_gate(max(now, self.ready_at))
-        if self.open_row == row:
-            return max(now, self.column_ok)
-        if self.open_row is None:
-            return rank.act_gate(max(now, self.ready_at))
+        if not self._open_page:
+            floor = self.ready_at
+            if now > floor:
+                floor = now
+            gate = rank.next_act_ok
+            return floor if floor >= gate else gate
+        open_row = self.open_row
+        if open_row == row:
+            col = self.column_ok
+            return col if col >= now else now
+        if open_row is None:
+            floor = self.ready_at
+            if now > floor:
+                floor = now
+            gate = rank.next_act_ok
+            return floor if floor >= gate else gate
         # Row conflict: precharge first.
-        return max(now, self.precharge_ok)
+        pre = self.precharge_ok
+        return pre if pre >= now else now
 
     # ------------------------------------------------------------------
     # Accesses (mutating)
@@ -172,30 +240,36 @@ class Bank:
         The first line is the demanded one; under AMB prefetching the
         remaining K-1 column accesses are pipelined behind it.
         """
-        t = self.timing
-        row_hit = self.is_row_hit(row)
-        act_time, first_rd_floor = self._row_phase(now, row, rank, row_hit)
-        first_rd_floor = max(first_rd_floor, rank.read_ok_after_write)
+        row_hit = self._open_page and self.open_row == row
+        act_time, rd_floor = self._row_phase(now, row, rank, row_hit)
+        if rank.read_ok_after_write > rd_floor:
+            rd_floor = rank.read_ok_after_write
+        first_rd_floor = rd_floor
 
+        rd_lead = self._rd_data_lead
+        rd_step = self._rd_drain_step
+        burst = self._rd_col_gate
+        reserve = data_bus.reserve
+        note_read_cmd = rank.note_read_cmd
         data_starts: List[int] = []
         data_times: List[int] = []
-        rd_floor = first_rd_floor
-        last_rd = first_rd_floor
+        last_rd = rd_floor
         for _ in range(num_lines):
-            start = data_bus.reserve(rd_floor + t.tCL, t.burst)
+            start = reserve(rd_floor + rd_lead, burst)
             data_starts.append(start)
-            data_times.append(start + t.burst)
-            last_rd = start - t.tCL  # effective RD command instant
-            rank.note_read_cmd(last_rd, now)
-            rd_floor = start + t.burst - t.tCL  # next RD gated by bus drain
-        self.stats.reads += num_lines
+            data_times.append(start + burst)
+            last_rd = start - rd_lead  # effective RD command instant
+            note_read_cmd(last_rd, now)
+            rd_floor = start + rd_step  # next RD gated by bus drain
+        stats = self.stats
+        stats.reads += num_lines
         if row_hit:
-            self.stats.row_hits += 1
-        elif self.page_policy is PagePolicy.OPEN_PAGE:
-            self.stats.row_misses += 1
+            stats.row_hits += 1
+        elif self._open_page:
+            stats.row_misses += 1
         if self.command_log is not None:
             for start in data_starts:
-                self._log(CommandType.READ, start - t.tCL, row)
+                self._log(CommandType.READ, start - rd_lead, row)
 
         self._close_or_keep(act_time, last_rd, is_write=False, row=row)
         command_start = act_time if act_time is not None else first_rd_floor
@@ -214,30 +288,35 @@ class Bank:
         rank: RankTimer,
     ) -> AccessResult:
         """Write one cacheline to ``row``."""
-        t = self.timing
-        row_hit = self.is_row_hit(row)
+        row_hit = self._open_page and self.open_row == row
         act_time, wr_floor = self._row_phase(now, row, rank, row_hit)
         # Wire-order tWTR guard: if the candidate slot would put a
         # committed read command inside this write's data-end + tWTR
         # window, push the write past that read command and retry.
+        wr_lead = self._wr_data_lead
+        burst = self._rd_col_gate
+        turnaround = self._wr_turnaround
+        probe = data_bus.probe
+        read_in_window = rank.read_in_window
         while True:
-            candidate = data_bus.probe(wr_floor + t.tWL, t.burst)
-            conflict = rank.read_in_window(
-                candidate - t.tWL, candidate + t.burst + t.tWTR
-            )
+            candidate = probe(wr_floor + wr_lead, burst)
+            wr_cmd = candidate - wr_lead
+            conflict = read_in_window(wr_cmd, wr_cmd + turnaround)
             if conflict is None:
                 break
-            wr_floor = conflict + t.clock
-        data_start = data_bus.reserve(wr_floor + t.tWL, t.burst)
-        data_end = data_start + t.burst
-        wr_time = data_start - t.tWL
-        rank.note_write_data_end(data_end, t.tWTR)
-        self._log(CommandType.WRITE, wr_time, row)
-        self.stats.writes += 1
+            wr_floor = conflict + self._retry_step
+        data_start = data_bus.reserve(wr_floor + wr_lead, burst)
+        data_end = data_start + burst
+        wr_time = data_start - wr_lead
+        rank.note_write_data_end(data_end, self.timing.tWTR)
+        if self.command_log is not None:
+            self._log(CommandType.WRITE, wr_time, row)
+        stats = self.stats
+        stats.writes += 1
         if row_hit:
-            self.stats.row_hits += 1
-        elif self.page_policy is PagePolicy.OPEN_PAGE:
-            self.stats.row_misses += 1
+            stats.row_hits += 1
+        elif self._open_page:
+            stats.row_misses += 1
 
         self._close_or_keep(act_time, wr_time, is_write=True, row=row)
         command_start = act_time if act_time is not None else wr_floor
@@ -270,44 +349,59 @@ class Bank:
 
         Returns (act_time or None, earliest column-command time).
         """
-        t = self.timing
         if row_hit:
-            return None, max(now, self.column_ok)
+            col = self.column_ok
+            return None, col if col >= now else now
 
-        pre_first = (
-            self.page_policy is PagePolicy.OPEN_PAGE and self.open_row is not None
-        )
-        if pre_first:
-            pre_time = max(now, self.precharge_ok)
+        if self._open_page and self.open_row is not None:
+            pre_time = self.precharge_ok
+            if now > pre_time:
+                pre_time = now
             self.stats.precharges += 1
-            self._log(CommandType.PRECHARGE, pre_time, row)
-            act_floor = pre_time + t.tRP
+            if self.command_log is not None:
+                self._log(CommandType.PRECHARGE, pre_time, row)
+            act_floor = pre_time + self._tRP
         else:
-            act_floor = max(now, self.ready_at)
-        act_time = rank.act_gate(act_floor)
-        rank.note_act(act_time, t.tRRD)
+            act_floor = self.ready_at
+            if now > act_floor:
+                act_floor = now
+        gate = rank.next_act_ok
+        act_time = act_floor if act_floor >= gate else gate
+        act_ok = act_time + self._tRRD
+        if act_ok > gate:
+            rank.next_act_ok = act_ok
         self.stats.activates += 1
-        self._log(CommandType.ACTIVATE, act_time, row)
-        return act_time, act_time + t.tRCD
+        if self.command_log is not None:
+            self._log(CommandType.ACTIVATE, act_time, row)
+        return act_time, act_time + self._tRCD
 
     def _close_or_keep(
         self, act_time: Optional[int], last_col: int, is_write: bool, row: int
     ) -> None:
         """Apply post-access state: auto-precharge or keep the row open."""
-        t = self.timing
-        col_to_pre = t.tWPD if is_write else t.tRPD
-        if self.page_policy is PagePolicy.CLOSE_PAGE:
+        col_to_pre = self._tWPD if is_write else self._tRPD
+        if not self._open_page:
             act = act_time if act_time is not None else last_col
-            pre_time = max(act + t.tRAS, last_col + col_to_pre)
+            pre_time = act + self._tRAS
+            drain = last_col + col_to_pre
+            if drain > pre_time:
+                pre_time = drain
             self.stats.precharges += 1
-            self._log(CommandType.PRECHARGE, pre_time, row)
-            self.ready_at = max(act + t.tRC, pre_time + t.tRP)
+            if self.command_log is not None:
+                self._log(CommandType.PRECHARGE, pre_time, row)
+            ready = act + self._tRC
+            recovered = pre_time + self._tRP
+            self.ready_at = ready if ready >= recovered else recovered
             self.open_row = None
         else:
             self.open_row = row
-            self.column_ok = last_col + (t.burst if not is_write else t.tWL + t.burst)
+            self.column_ok = last_col + (
+                self._wr_col_gate if is_write else self._rd_col_gate
+            )
+            drain = last_col + col_to_pre
             if act_time is not None:
-                self.precharge_ok = max(act_time + t.tRAS, last_col + col_to_pre)
-                self.ready_at = act_time + t.tRC
-            else:
-                self.precharge_ok = max(self.precharge_ok, last_col + col_to_pre)
+                pre_ok = act_time + self._tRAS
+                self.precharge_ok = pre_ok if pre_ok >= drain else drain
+                self.ready_at = act_time + self._tRC
+            elif drain > self.precharge_ok:
+                self.precharge_ok = drain

@@ -24,6 +24,8 @@ from typing import List, Tuple
 class BusResource:
     """A single-owner bus with busy-interval tracking and backfill."""
 
+    __slots__ = ("name", "busy_ps", "_intervals")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.busy_ps = 0  # total occupied time, for utilisation stats
@@ -57,11 +59,13 @@ class BusResource:
         ``earliest >= time_ps`` — which holds because every caller reserves
         at or after the current simulation time.
         """
-        if not self._intervals:
-            return
-        keep = [iv for iv in self._intervals if iv[1] > time_ps]
-        if len(keep) != len(self._intervals):
-            self._intervals = keep
+        intervals = self._intervals
+        for iv in intervals:
+            if iv[1] <= time_ps:
+                break
+        else:
+            return  # nothing expired: skip the rebuild allocation
+        self._intervals = [iv for iv in intervals if iv[1] > time_ps]
 
     def utilisation(self, elapsed_ps: int) -> float:
         """Fraction of ``elapsed_ps`` the bus spent occupied."""
@@ -76,11 +80,13 @@ class BusResource:
 
     def _find_gap(self, earliest: int, duration: int) -> int:
         start = earliest
+        fits_at = earliest + duration
         for interval_start, interval_end in self._intervals:
-            if start + duration <= interval_start:
+            if fits_at <= interval_start:
                 break
             if interval_end > start:
                 start = interval_end
+                fits_at = start + duration
         return start
 
 
@@ -94,6 +100,8 @@ class TaggedBusResource:
     unidirectional links have no such bubbles, which is precisely the
     utilisation advantage the paper measures (Section 5.1).
     """
+
+    __slots__ = ("name", "switch_gap_ps", "busy_ps", "_intervals")
 
     def __init__(self, name: str, switch_gap_ps: int) -> None:
         self.name = name
@@ -124,13 +132,18 @@ class TaggedBusResource:
         The most recent expired reservation is kept so a new reservation
         immediately after it still pays the switch gap against it.
         """
-        if len(self._intervals) <= 1:
+        intervals = self._intervals
+        if len(intervals) <= 1:
             return
-        keep = [iv for iv in self._intervals if iv[1] > time_ps]
+        for iv in intervals:
+            if iv[1] <= time_ps:
+                break
+        else:
+            return  # nothing expired: skip the rebuild allocation
+        keep = [iv for iv in intervals if iv[1] > time_ps]
         if not keep:
-            keep = [self._intervals[-1]]
-        if len(keep) != len(self._intervals):
-            self._intervals = keep
+            keep = [intervals[-1]]
+        self._intervals = keep
 
     def utilisation(self, elapsed_ps: int) -> float:
         if elapsed_ps <= 0:
@@ -146,13 +159,15 @@ class TaggedBusResource:
 
     def _find_gap(self, earliest: int, duration: int, tag: object) -> int:
         start = earliest
-        for index, (iv_start, iv_end, iv_tag) in enumerate(self._intervals):
-            lead = self._gap_after_ps(iv_tag, tag)
+        switch_gap = self.switch_gap_ps
+        for iv_start, iv_end, iv_tag in self._intervals:
+            lead = 0 if iv_tag == tag else switch_gap
             if start + duration + lead <= iv_start:
                 # Fits before this interval; also respect the previous one.
                 break
-            if iv_end + lead > start:
-                start = iv_end + lead
+            shifted = iv_end + lead
+            if shifted > start:
+                start = shifted
         return start
 
 
@@ -162,6 +177,8 @@ class BusView:
     Banks reserve data-bus time without knowing who they are; a view makes
     one (direction, rank) identity look like a plain bus.
     """
+
+    __slots__ = ("bus", "tag")
 
     def __init__(self, bus: TaggedBusResource, tag: object) -> None:
         self.bus = bus

@@ -3,11 +3,19 @@
 :class:`~repro.config.DramTimings` stores the paper's Table 2 values in
 nanoseconds for readability; the simulator converts them once into this
 integer-picosecond bundle so the hot path never touches floats.
+
+:meth:`TimingPs.per_command_table` goes one step further: it folds the
+constraint arithmetic each DRAM command performs per issue (burst drain
+steps, turnaround windows, open-row column gates) into plain integers.
+:class:`~repro.dram.bank.Bank` materialises the table once at construction
+so its per-access code adds precomputed offsets instead of re-deriving
+them from the individual constraints on every command.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.config import DramTimings
 from repro.engine.simulator import ns
@@ -29,6 +37,38 @@ class TimingPs:
     tWPD: int
     clock: int  # DRAM clock period
     burst: int  # data-bus occupancy of one cacheline burst
+
+    def per_command_table(self) -> Dict[str, int]:
+        """Derived per-command offsets, precomputed for the bank hot path.
+
+        Keys (all picoseconds):
+
+        * ``rd_data_lead`` — RD command to burst start (tCL).
+        * ``rd_drain_step`` — how much later the *next* pipelined RD of a
+          group fetch may issue once a burst lands: burst - tCL.
+        * ``rd_col_gate`` — open-page column gate advance after a read's
+          last column command (burst).
+        * ``wr_data_lead`` — WR command to burst start (tWL).
+        * ``wr_turnaround`` — WR command to end of its tWTR read exclusion
+          window: tWL + burst + tWTR.
+        * ``wr_col_gate`` — open-page column gate advance after a write's
+          column command: tWL + burst.
+        * ``retry_step`` — how far a blocked write slides past a committed
+          read command (one DRAM clock).
+
+        The method recomputes from the base constraints on every call; it
+        exists so tests can check the folded values against the formulas
+        while :class:`~repro.dram.bank.Bank` caches the result once.
+        """
+        return {
+            "rd_data_lead": self.tCL,
+            "rd_drain_step": self.burst - self.tCL,
+            "rd_col_gate": self.burst,
+            "wr_data_lead": self.tWL,
+            "wr_turnaround": self.tWL + self.burst + self.tWTR,
+            "wr_col_gate": self.tWL + self.burst,
+            "retry_step": self.clock,
+        }
 
     @classmethod
     def from_config(

@@ -4,17 +4,32 @@ Events that are scheduled for the same picosecond fire in the order they were
 scheduled, which keeps runs bit-for-bit reproducible regardless of heap
 tie-breaking.
 
+Hot-path layout: the heap holds raw ``(time, seq, item)`` tuples, so every
+sift comparison is a C-level tuple compare — ``seq`` is unique, so the item
+itself is never compared.  The item is either
+
+* an :class:`Event` (``__slots__``-carrying handle) when the caller needs
+  cancellation or profiler origin tracking — :meth:`push`; or
+* the bare callback when no handle is needed — :meth:`push_fire`, the
+  fire-and-forget fast path most of the simulator uses.  It skips the
+  handle allocation entirely: one tuple per scheduled callback.
+
 Cancellation is O(1): a cancelled event is flagged and skipped when it
 surfaces, and the queue keeps a live-event counter so ``len()`` never scans
 the heap.  When cancelled events come to dominate the heap it is compacted
 in place, so a workload that cancels heavily (e.g. the channel controllers'
 wake events) cannot grow the heap without bound.
+
+:meth:`EventQueue.pop_batch` drains every live entry sharing the earliest
+timestamp in a single heap pass — the batched same-tick dispatch the
+simulator's run loop uses instead of a peek/pop pair per event.  The batch
+holds the raw heap entries, so a run loop that stops mid-batch can
+:meth:`requeue` the unfired remainder with (time, seq) intact.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 #: Compaction never triggers below this heap size; the rebuild is O(n) and
@@ -22,32 +37,41 @@ from typing import Callable, List, Optional, Tuple
 _COMPACT_MIN_HEAP = 64
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback with a cancellation handle.
 
     Attributes:
         time: Absolute firing time in picoseconds.
         seq: Monotonic tie-breaker assigned by the queue.
         callback: Zero-argument callable invoked when the event fires.
         cancelled: Cancelled events stay in the heap but are skipped.
+        origin: Scheduling ancestry (chain of profiler callback sites)
+            recorded only while an
+            :class:`~repro.engine.profiler.EventLoopProfiler` is attached;
+            None otherwise, costing nothing on unprofiled runs.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Scheduling ancestry (chain of profiler callback sites) recorded only
-    #: while an :class:`~repro.engine.profiler.EventLoopProfiler` is
-    #: attached; None otherwise, costing nothing on unprofiled runs.
-    origin: Optional[Tuple[str, ...]] = field(
-        default=None, compare=False, repr=False
-    )
-    #: Back-reference so cancel() can keep the queue's live counter exact;
-    #: detached (None) once the event has been popped.
-    _queue: Optional["EventQueue"] = field(
-        default=None, compare=False, repr=False
-    )
+    __slots__ = ("time", "seq", "callback", "cancelled", "origin", "_queue")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[], None],
+        queue: "Optional[EventQueue]" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.origin: Optional[Tuple[str, ...]] = None
+        #: Back-reference so cancel() can keep the queue's live counter
+        #: exact; detached (None) once the event has been popped.
+        self._queue = queue
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(time={self.time}, seq={self.seq}{state})"
 
     def cancel(self) -> None:
         """Mark the event so the queue drops it instead of firing it."""
@@ -59,17 +83,23 @@ class Event:
             self._queue = None
 
 
+#: One heap entry: (time, seq, item) where item is an Event or a bare
+#: callback.  ``seq`` is unique per queue, so tuple comparison never
+#: reaches the item.
+_Entry = Tuple[int, int, object]
+
+
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by (time, insertion order)."""
+    """Min-heap of scheduled callbacks ordered by (time, insertion order)."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
-        self._live = 0  # events neither fired nor cancelled
+        self._live = 0  # entries neither fired nor cancelled
         self._cancelled = 0  # cancelled events still occupying the heap
 
     def __len__(self) -> int:
-        """Number of live (non-cancelled, not yet fired) events; O(1)."""
+        """Number of live (non-cancelled, not yet fired) entries; O(1)."""
         return self._live
 
     @property
@@ -78,35 +108,123 @@ class EventQueue:
         return len(self._heap)
 
     def push(self, time: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at absolute picosecond ``time``."""
+        """Schedule ``callback`` at absolute ``time``; returns its handle."""
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        event = Event(time=time, seq=self._seq, callback=callback, _queue=self)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
+    def push_fire(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` with no handle (cannot be cancelled).
+
+        The fire-and-forget fast path: the callback itself rides in the
+        heap entry, skipping the :class:`Event` allocation.  Interleaves
+        deterministically with :meth:`push` — both draw from the same
+        sequence counter.
+        """
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback))
+        self._live += 1
+
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest live event, or None when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            event._queue = None  # a later cancel() must not touch counters
+        """Remove and return the earliest live event, or None when empty.
+
+        Handle-free entries (``push_fire``) are wrapped in a detached
+        :class:`Event` so callers see a uniform result type.
+        """
+        heap = self._heap
+        while heap:
+            time, seq, item = heapq.heappop(heap)
+            if item.__class__ is Event:
+                if item.cancelled:  # type: ignore[union-attr]
+                    self._cancelled -= 1
+                    continue
+                item._queue = None  # type: ignore[union-attr]
+                self._live -= 1
+                return item  # type: ignore[return-value]
             self._live -= 1
-            return event
+            return Event(time, seq, item)  # type: ignore[arg-type]
         return None
 
-    def peek_time(self) -> Optional[int]:
-        """Return the firing time of the earliest live event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-            self._cancelled -= 1
-        if not self._heap:
+    def pop_batch(
+        self, out: List[_Entry], until: Optional[int] = None
+    ) -> Optional[int]:
+        """Drain every live entry at the earliest timestamp into ``out``.
+
+        ``out`` is cleared first and refilled with raw heap entries in
+        scheduling order; the shared timestamp is returned.  When the
+        queue is empty — or the earliest live entry fires after ``until``
+        — nothing is popped, ``out`` stays empty and None is returned
+        (with ``until`` exceeded, the heap is left untouched so a later
+        run can resume).
+
+        A popped event may still be cancelled by an earlier event of the
+        same batch; the dispatch loop re-checks ``cancelled`` before
+        firing, exactly as the heap skip would have.
+        """
+        del out[:]
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            head = heap[0][2]
+            if head.__class__ is Event and head.cancelled:  # type: ignore[union-attr]
+                heappop(heap)
+                self._cancelled -= 1
+                continue
+            break
+        if not heap:
             return None
-        return self._heap[0].time
+        tick = heap[0][0]
+        if until is not None and tick > until:
+            return None
+        append = out.append
+        popped = 0
+        while heap and heap[0][0] == tick:
+            entry = heappop(heap)
+            item = entry[2]
+            if item.__class__ is Event:
+                if item.cancelled:  # type: ignore[union-attr]
+                    self._cancelled -= 1
+                    continue
+                item._queue = None  # type: ignore[union-attr]
+            popped += 1
+            append(entry)
+        self._live -= popped
+        return tick
+
+    def requeue(self, entry: _Entry) -> None:
+        """Put a popped-but-unfired batch entry back, (time, seq) intact.
+
+        Used when a run loop stops mid-batch: the remaining batch members
+        return to the heap so a later ``run()`` fires them unchanged.
+        Cancelled events are dropped rather than requeued.
+        """
+        item = entry[2]
+        if item.__class__ is Event:
+            if item.cancelled:  # type: ignore[union-attr]
+                return
+            item._queue = self  # type: ignore[union-attr]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the earliest live entry, or None."""
+        heap = self._heap
+        while heap:
+            head = heap[0][2]
+            if head.__class__ is Event and head.cancelled:  # type: ignore[union-attr]
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return heap[0][0]
+        return None
 
     # ------------------------------------------------------------------
 
@@ -121,7 +239,16 @@ class EventQueue:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled events (O(n), rare)."""
-        self._heap = [event for event in self._heap if not event.cancelled]
+        """Rebuild the heap without cancelled events (O(n), rare).
+
+        In place: Simulator.run drains the heap through a local reference,
+        and cancel() — hence compaction — can run from inside a dispatched
+        callback, so the list object's identity must survive.
+        """
+        self._heap[:] = [
+            entry for entry in self._heap
+            if entry[2].__class__ is not Event
+            or not entry[2].cancelled  # type: ignore[union-attr]
+        ]
         heapq.heapify(self._heap)
         self._cancelled = 0

@@ -4,10 +4,18 @@ Every model component holds a reference to one :class:`Simulator` and uses
 :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` to arrange its own
 future work.  The loop runs until a stop condition is raised by a component
 (via :meth:`Simulator.stop`) or the queue drains.
+
+Fire-and-forget call sites — completions, admissions, refresh ticks —
+should prefer :meth:`Simulator.schedule_fire`, which skips the
+:class:`Event` handle allocation entirely.  Only callers that may later
+``cancel()`` (or that a profiler must attribute) need the handle-returning
+:meth:`schedule` / :meth:`schedule_at`.
 """
 
 from __future__ import annotations
 
+import gc
+import heapq
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.engine.event_queue import Event, EventQueue
@@ -57,6 +65,21 @@ class Simulator:
             event.origin = self.profiler.origin_stack()
         return event
 
+    def schedule_fire(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time with no cancellation handle.
+
+        The fire-and-forget fast path: identical firing semantics to
+        :meth:`schedule_at` (clamped to not-before-now, same tie-break
+        ordering) but no :class:`Event` is allocated, so the caller cannot
+        cancel it.  With a profiler attached it falls back to the
+        handle-carrying path so origin attribution still works.
+        """
+        if self.profiler is not None:
+            event = self.queue.push(max(time, self.now), callback)
+            event.origin = self.profiler.origin_stack()
+            return
+        self.queue.push_fire(max(time, self.now), callback)
+
     def schedule_every(self, period: int, callback: Callable[[], object]) -> Event:
         """Schedule ``callback`` every ``period`` picoseconds from now.
 
@@ -88,25 +111,71 @@ class Simulator:
             until: Absolute time bound; events after it stay queued.
             max_events: Safety valve for tests; raises RuntimeError when hit
                 so an accidental livelock fails loudly instead of hanging.
+
+        The drain is fused with the heap: the loop pops (time, seq, item)
+        entries straight off ``queue._heap`` instead of going through a
+        pop/peek method pair per event — the heap invariant already yields
+        the exact firing order (timestamp, then scheduling order), and
+        anything not yet popped when the loop exits simply stays queued.
+        ``EventQueue._compact`` rebuilds that list in place, so the local
+        reference stays valid even when a dispatched callback cancels
+        enough events to trigger compaction.
+
+        The generational GC is paused for the duration of the loop: the
+        loop allocates heavily (heap entries, requests, closures) but the
+        only reference cycles — Event._queue back-references — are broken
+        explicitly on pop/cancel, so refcounting reclaims everything and
+        collector passes are pure overhead.  The previous GC state is
+        restored on exit, including on exceptions.
         """
         self._stopped = False
         profiler = self.profiler
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        event_cls = Event
         fired = 0
-        while not self._stopped:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.now = until
-                break
-            event = self.queue.pop()
-            assert event is not None
-            self.now = event.time
-            if profiler is not None:
-                profiler.time_call(event.callback, event.origin or ())
-            else:
-                event.callback()
-            self.events_fired += 1
-            fired += 1
-            if max_events is not None and fired >= max_events:
-                raise RuntimeError(f"simulation exceeded {max_events} events")
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap and not self._stopped:
+                entry = heap[0]
+                item = entry[2]
+                if item.__class__ is event_cls:
+                    if item.cancelled:  # type: ignore[attr-defined]
+                        heappop(heap)
+                        queue._cancelled -= 1
+                        continue
+                    if until is not None and entry[0] > until:
+                        # Events beyond the bound stay queued; the clock
+                        # still advances to the bound itself.
+                        self.now = until
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    item._queue = None  # type: ignore[attr-defined]
+                    callback = item.callback  # type: ignore[attr-defined]
+                    origin = item.origin  # type: ignore[attr-defined]
+                else:
+                    if until is not None and entry[0] > until:
+                        self.now = until
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    callback = item
+                    origin = None
+                self.now = entry[0]
+                if profiler is not None:
+                    profiler.time_call(callback, origin or ())
+                else:
+                    callback()
+                self.events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events"
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()

@@ -44,7 +44,7 @@ def _idle_read_latency_ns(memory: MemoryConfig, line_addrs: List[int]) -> float:
             arrival=inject_at,
             on_complete=finished.append,
         )
-        sim.schedule_at(inject_at, lambda r=request: controller.submit(r))
+        sim.schedule_fire(inject_at, lambda r=request: controller.submit(r))
         sim.run(max_events=10_000)
         # A quiet microsecond between reads, frame-aligned so the idle
         # latency is not inflated by up to one frame of grid alignment.

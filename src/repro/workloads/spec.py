@@ -113,58 +113,81 @@ class SyntheticTrace:
         self.software_prefetch = software_prefetch
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        # This generator feeds every core on every simulated tick, so the
+        # loop runs with everything it touches bound to locals: RNG draw
+        # methods, heap primitives, profile scalars, and the TraceKind
+        # members.  The draw sequence is bit-for-bit identical to the
+        # original nested-closure formulation (same RNG calls in the same
+        # data-dependent order), which the conformance goldens pin.
         profile = self.profile
         rng = random.Random(f"{self.seed}:{profile.name}")
-        mean_gap = 1000.0 / profile.mpki
-        streams: List[int] = [
-            rng.randrange(profile.footprint_lines) for _ in range(profile.streams)
-        ]
+        # Same double-rounding as the original 1.0 / mean_gap expression —
+        # a direct mpki / 1000.0 can differ in the last ulp and derail the
+        # whole pinned draw sequence.
+        mean_rate = 1.0 / (1000.0 / profile.mpki)
+        footprint = profile.footprint_lines
+        n_streams = profile.streams
+        streams: List[int] = [rng.randrange(footprint) for _ in range(n_streams)]
         writeback_queue: List[int] = []
         heap: List[Tuple[int, int, TraceKind, int]] = []
-        tie = itertools.count()
+        tie = itertools.count().__next__
         horizon = profile.sw_prefetch_distance + 2
         gen_inst = 0
         last_emitted = 0
 
-        def generate_one() -> int:
-            nonlocal gen_inst
-            gap = max(1, round(rng.expovariate(1.0 / mean_gap)))
-            gen_inst += gap
-            if writeback_queue and rng.random() < profile.write_fraction:
-                lag = min(len(writeback_queue), self.WRITEBACK_LAG)
-                line = writeback_queue.pop(-lag)
-                heapq.heappush(heap, (gen_inst, next(tie), TraceKind.WRITE, line))
-                return gen_inst
-            stream = rng.randrange(profile.streams)
-            sequential = rng.random() < profile.continue_probability
-            streams[stream] = (
-                (streams[stream] + 1) % profile.footprint_lines
-                if sequential
-                else rng.randrange(profile.footprint_lines)
-            )
-            line = self.base_line + streams[stream]
-            heapq.heappush(heap, (gen_inst, next(tie), TraceKind.READ, line))
-            writeback_queue.append(line)
-            if len(writeback_queue) > 4 * self.WRITEBACK_LAG:
-                del writeback_queue[: self.WRITEBACK_LAG]
-            covered = (
-                self.software_prefetch
-                and sequential
-                and rng.random() < profile.sw_prefetch_coverage
-            )
-            if covered:
-                pf_inst = max(1, gen_inst - profile.sw_prefetch_distance)
-                heapq.heappush(heap, (pf_inst, next(tie), TraceKind.PREFETCH, line))
-            return gen_inst
+        expovariate = rng.expovariate
+        rng_random = rng.random
+        randrange = rng.randrange
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        write_fraction = profile.write_fraction
+        continue_probability = profile.continue_probability
+        coverage = profile.sw_prefetch_coverage
+        pf_distance = profile.sw_prefetch_distance
+        sw_prefetch = self.software_prefetch
+        base_line = self.base_line
+        lag_cap = self.WRITEBACK_LAG
+        trim_at = 4 * lag_cap
+        kind_read = TraceKind.READ
+        kind_write = TraceKind.WRITE
+        kind_prefetch = TraceKind.PREFETCH
+        make_event = TraceEvent
 
         while True:
             while not heap or heap[0][0] > gen_inst - horizon:
-                generate_one()
-            inst, _, kind, line = heapq.heappop(heap)
+                gap = round(expovariate(mean_rate))
+                gen_inst += gap if gap > 1 else 1
+                if writeback_queue and rng_random() < write_fraction:
+                    lag = len(writeback_queue)
+                    if lag > lag_cap:
+                        lag = lag_cap
+                    heappush(
+                        heap,
+                        (gen_inst, tie(), kind_write, writeback_queue.pop(-lag)),
+                    )
+                    continue
+                stream = randrange(n_streams)
+                sequential = rng_random() < continue_probability
+                if sequential:
+                    pos = (streams[stream] + 1) % footprint
+                else:
+                    pos = randrange(footprint)
+                streams[stream] = pos
+                line = base_line + pos
+                heappush(heap, (gen_inst, tie(), kind_read, line))
+                writeback_queue.append(line)
+                if len(writeback_queue) > trim_at:
+                    del writeback_queue[:lag_cap]
+                if sw_prefetch and sequential and rng_random() < coverage:
+                    pf_inst = gen_inst - pf_distance
+                    if pf_inst < 1:
+                        pf_inst = 1
+                    heappush(heap, (pf_inst, tie(), kind_prefetch, line))
+            inst, _, kind, line = heappop(heap)
             if inst <= last_emitted:
                 inst = last_emitted + 1
             last_emitted = inst
-            yield TraceEvent(inst=inst, kind=kind, line_addr=line)
+            yield make_event(inst, kind, line)
 
 
 def make_trace(

@@ -9,15 +9,27 @@ the paper cites, validated FB-DIMM with exactly this kind of workload.)
 
 All generators yield :class:`~repro.workloads.trace.TraceEvent` in strictly
 increasing instruction order and are deterministic in their seed.
+
+Generation is array-backed: each generator materialises events a chunk at
+a time into a list and yields from it, so the per-event cost is one list
+append plus the RNG draws instead of a full generator-frame resume per
+event.  The RNG call sequence per event is identical to a naive one-at-a-
+time loop (draws happen in event order inside the fill loop), so traces
+are bit-for-bit unchanged for any (seed, spec).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, List
 
 from repro.workloads.trace import TraceEvent, TraceKind
+
+#: Events materialised per chunk.  Large enough to amortise loop setup,
+#: small enough that ``record(trace, n)`` never holds a wastefully large
+#: tail (a chunk is ~56 KB of event objects).
+CHUNK_EVENTS = 1024
 
 
 @dataclass(frozen=True)
@@ -49,14 +61,23 @@ class SyntheticSpec:
 def stream(spec: SyntheticSpec = SyntheticSpec(), base_line: int = 0) -> Iterator[TraceEvent]:
     """A single perfectly sequential stream — best case for AMB prefetching
     and for channel bandwidth."""
-    rng = random.Random(spec.seed)
+    rng_random = random.Random(spec.seed).random
+    gap = spec.gap_insts
+    write_fraction = spec.write_fraction
+    footprint = spec.footprint_lines
+    kind_read, kind_write = TraceKind.READ, TraceKind.WRITE
+    make_event = TraceEvent
     inst = 0
     line = 0
     while True:
-        inst += spec.gap_insts
-        kind = TraceKind.WRITE if rng.random() < spec.write_fraction else TraceKind.READ
-        yield TraceEvent(inst, kind, base_line + line % spec.footprint_lines)
-        line += 1
+        chunk: List[TraceEvent] = []
+        append = chunk.append
+        for _ in range(CHUNK_EVENTS):
+            inst += gap
+            kind = kind_write if rng_random() < write_fraction else kind_read
+            append(make_event(inst, kind, base_line + line % footprint))
+            line += 1
+        yield from chunk
 
 
 def uniform_random(
@@ -65,12 +86,22 @@ def uniform_random(
     """Uniformly random lines — worst case for any prefetcher, a stress
     test for bank-level parallelism."""
     rng = random.Random(spec.seed)
+    rng_random = rng.random
+    randrange = rng.randrange
+    gap = spec.gap_insts
+    write_fraction = spec.write_fraction
+    footprint = spec.footprint_lines
+    kind_read, kind_write = TraceKind.READ, TraceKind.WRITE
+    make_event = TraceEvent
     inst = 0
     while True:
-        inst += spec.gap_insts
-        kind = TraceKind.WRITE if rng.random() < spec.write_fraction else TraceKind.READ
-        yield TraceEvent(inst, kind, base_line + rng.randrange(spec.footprint_lines))
-        inst += 0
+        chunk: List[TraceEvent] = []
+        append = chunk.append
+        for _ in range(CHUNK_EVENTS):
+            inst += gap
+            kind = kind_write if rng_random() < write_fraction else kind_read
+            append(make_event(inst, kind, base_line + randrange(footprint)))
+        yield from chunk
 
 
 def strided(
@@ -84,14 +115,23 @@ def strided(
     """
     if stride_lines < 1:
         raise ValueError("stride must be >= 1 line")
-    rng = random.Random(spec.seed)
+    rng_random = random.Random(spec.seed).random
+    gap = spec.gap_insts
+    write_fraction = spec.write_fraction
+    footprint = spec.footprint_lines
+    kind_read, kind_write = TraceKind.READ, TraceKind.WRITE
+    make_event = TraceEvent
     inst = 0
     line = 0
     while True:
-        inst += spec.gap_insts
-        kind = TraceKind.WRITE if rng.random() < spec.write_fraction else TraceKind.READ
-        yield TraceEvent(inst, kind, base_line + line % spec.footprint_lines)
-        line += stride_lines
+        chunk: List[TraceEvent] = []
+        append = chunk.append
+        for _ in range(CHUNK_EVENTS):
+            inst += gap
+            kind = kind_write if rng_random() < write_fraction else kind_read
+            append(make_event(inst, kind, base_line + line % footprint))
+            line += stride_lines
+        yield from chunk
 
 
 def pointer_chase(
@@ -103,14 +143,19 @@ def pointer_chase(
     can never overlap them — the measured IPC then reflects the *un-hidden*
     memory latency, which is how idle-latency microbenchmarks work.
     """
-    rng = random.Random(spec.seed)
+    randrange = random.Random(spec.seed).randrange
+    footprint = spec.footprint_lines
+    kind_read = TraceKind.READ
+    make_event = TraceEvent
     inst = 0
     gap = max(spec.gap_insts, 400)  # > ROB, forbids overlap at any IPC
     while True:
-        inst += gap
-        yield TraceEvent(
-            inst, TraceKind.READ, base_line + rng.randrange(spec.footprint_lines)
-        )
+        chunk: List[TraceEvent] = []
+        append = chunk.append
+        for _ in range(CHUNK_EVENTS):
+            inst += gap
+            append(make_event(inst, kind_read, base_line + randrange(footprint)))
+        yield from chunk
 
 
 GENERATORS = {

@@ -9,8 +9,7 @@ for deterministic regression tests and offline analysis.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List
+from typing import Any, Iterable, Iterator, List
 
 
 class TraceKind(enum.Enum):
@@ -21,9 +20,13 @@ class TraceKind(enum.Enum):
     PREFETCH = "prefetch"  # software cache-prefetch instruction
 
 
-@dataclass(frozen=True)
 class TraceEvent:
     """One memory event at a given position in the instruction stream.
+
+    A plain ``__slots__`` class (not a dataclass): generators construct
+    one per event on the simulation hot path, and slot assignment is
+    several times cheaper than a frozen dataclass's ``object.__setattr__``
+    per field.  Value equality and hashing match the old dataclass.
 
     Attributes:
         inst: Index of the instruction triggering the event; generators
@@ -32,9 +35,30 @@ class TraceEvent:
         line_addr: Cacheline index in the flat physical space.
     """
 
-    inst: int
-    kind: TraceKind
-    line_addr: int
+    __slots__ = ("inst", "kind", "line_addr")
+
+    def __init__(self, inst: int, kind: TraceKind, line_addr: int) -> None:
+        self.inst = inst
+        self.kind = kind
+        self.line_addr = line_addr
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(inst={self.inst}, kind={self.kind},"
+            f" line_addr={self.line_addr})"
+        )
+
+    def __eq__(self, other: Any) -> Any:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.inst == other.inst
+            and self.kind is other.kind
+            and self.line_addr == other.line_addr
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.inst, self.kind, self.line_addr))
 
 
 def record(trace: Iterable[TraceEvent], max_events: int) -> List[TraceEvent]:

@@ -14,7 +14,12 @@ import dataclasses
 
 import pytest
 
-from repro.config import SystemConfig, fbdimm_amb_prefetch, fbdimm_baseline
+from repro.config import (
+    SystemConfig,
+    ddr2_baseline,
+    fbdimm_amb_prefetch,
+    fbdimm_baseline,
+)
 from repro.cpu.core import CoreStats
 from repro.experiments import (
     ablations,
@@ -87,6 +92,69 @@ class TestDifferential:
         seen = []
         execute_runs(pairs, jobs=2, on_result=lambda i, r, w: seen.append(i))
         assert sorted(seen) == list(range(len(pairs)))
+
+
+def _dispatcher_edge_pairs():
+    """Configs that ride every edge the PR-8 dispatcher rewrite touched.
+
+    DDR2 exercises the bus-prune guards and same-tick kick fast path on
+    the simple channel; faulted FBD-AP cancels and re-arms wake events
+    while links degrade and recover (the cancellation-heavy path through
+    the fused run loop and heap compaction); the protocol-checked run
+    hangs extra observers off the identical schedule.
+    """
+    faulted = fbdimm_amb_prefetch(num_cores=2).with_faults(
+        error_rate=5e-2, max_retries=3
+    )
+    checked = dataclasses.replace(
+        fbdimm_baseline(num_cores=2), check_protocol=True
+    )
+    return [
+        (ddr2_baseline(num_cores=2), ("swim", "vpr")),
+        (faulted, ("wupwise", "swim")),
+        (checked, ("vpr", "wupwise")),
+    ]
+
+
+class TestBatchedDispatcherDifferential:
+    """The rewritten engine (handle-free scheduling, fused GC-suppressed
+    run loop, kick fast path) must be invisible to every execution mode:
+    worker processes, the in-process serial path and the disk cache all
+    replay byte-identical results on dispatcher-stressing configs."""
+
+    def test_worker_processes_replay_the_same_schedule(self):
+        pairs = _dispatcher_edge_pairs()
+        serial = ExperimentContext(instructions=INSTS)
+        expected = [serial.run(c, p).canonical_json() for c, p in pairs]
+
+        parallel = ExperimentContext(instructions=INSTS, jobs=4)
+        counts = parallel.prefetch(pairs)
+        assert counts == {"memo": 0, "disk": 0, "fresh": len(pairs)}
+        actual = [parallel.run(c, p).canonical_json() for c, p in pairs]
+        assert actual == expected
+
+    def test_cached_edge_runs_are_byte_identical_to_fresh(self, tmp_path):
+        pairs = _dispatcher_edge_pairs()
+        writer = ExperimentContext(instructions=INSTS, cache=tmp_path, jobs=4)
+        writer.prefetch(pairs)
+        fresh = [writer.run(c, p).canonical_json() for c, p in pairs]
+
+        reader = ExperimentContext(instructions=INSTS, cache=tmp_path)
+        recalled = [reader.run(c, p).canonical_json() for c, p in pairs]
+        assert recalled == fresh
+        assert reader.fresh_runs == 0
+        assert reader.disk_hits == len(pairs)
+
+    def test_events_fired_counts_survive_worker_round_trip(self):
+        """events_fired is part of the digest: the exact event schedule —
+        not just the measured statistics — must cross process boundaries."""
+        pairs = _dispatcher_edge_pairs()
+        inline = [simulate_one(pair)[0] for pair in pairs]
+        pooled = execute_runs(pairs, jobs=4)
+        assert [r.events_fired for r in pooled] == [
+            r.events_fired for r in inline
+        ]
+        assert all(r.events_fired > 0 for r in pooled)
 
 
 class TestMemoKey:

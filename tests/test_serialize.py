@@ -140,3 +140,58 @@ class TestResultRoundTrip:
         text = result.canonical_json()
         again = SimulationResult.from_dict(json.loads(text))
         assert again.canonical_json() == text
+
+
+class TestSlotsCompat:
+    """Regression guard for the PR-8 ``__slots__`` rewrite.
+
+    The hot classes (TraceEvent, MappedAddress, MemoryRequest, Core, the
+    DRAM banks) carry ``__slots__`` and therefore no ``__dict__``; the
+    codec must keep working off dataclass *fields* — a ``vars()``-based
+    shortcut would crash on them — and slotted dataclasses, should one
+    enter the result tree, must round-trip like any other.
+    """
+
+    def test_slotted_dataclass_round_trips(self):
+        @dataclasses.dataclass
+        class Slotted:
+            __slots__ = ("count", "scale")
+            count: int
+            scale: float
+
+        value = Slotted(count=3, scale=0.125)
+        encoded = encode_value(value)
+        assert encoded == {"count": 3, "scale": 0.125}
+        raw = json.loads(canonical_dumps(encoded))
+        assert decode_value(raw, Slotted) == value
+
+    def test_slotted_dataclass_nested_in_containers(self):
+        @dataclasses.dataclass
+        class Inner:
+            __slots__ = ("x",)
+            x: int
+
+        @dataclasses.dataclass
+        class Outer:
+            items: List[Inner]
+            by_name: Dict[str, Inner]
+
+        value = Outer(items=[Inner(1), Inner(2)], by_name={"a": Inner(3)})
+        raw = json.loads(canonical_dumps(encode_value(value)))
+        assert decode_value(raw, Outer) == value
+
+    def test_hot_path_slots_classes_stay_unencodable(self):
+        """The slotted non-dataclass hot classes never silently reach the
+        cache: encode is a hard TypeError, not a lossy best-effort."""
+        from repro.controller.mapping import MappedAddress
+        from repro.controller.transaction import MemoryRequest, RequestKind
+        from repro.workloads.trace import TraceEvent, TraceKind
+
+        for value in (
+            TraceEvent(0, TraceKind.READ, 5),
+            MappedAddress(0, 0, 0, 0, 0, 0, 0, 0),
+            MemoryRequest(RequestKind.DEMAND_READ, 1, 0, 0),
+        ):
+            assert not hasattr(value, "__dict__")  # the premise of the test
+            with pytest.raises(TypeError):
+                encode_value(value)
