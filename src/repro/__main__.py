@@ -30,6 +30,7 @@ from repro.config import (
     fbdimm_amb_prefetch,
     fbdimm_baseline,
 )
+from repro.dram.devices import device_names
 from repro.system import System
 from repro.workloads.multiprog import SINGLE_CORE, WORKLOADS, workload_programs
 
@@ -62,6 +63,9 @@ def _build_config(args: argparse.Namespace, system: str) -> SystemConfig:
             associativity=ASSOCIATIVITIES[args.assoc],
         )
         config = fbdimm_amb_prefetch(num_cores=cores, prefetch=prefetch)
+    device = getattr(args, "device", None)
+    if device is not None and device != "ddr2-667":
+        config = config.with_device(device)
     config = dataclasses.replace(
         config,
         instructions_per_core=args.insts,
@@ -177,6 +181,7 @@ SWEEP_AXES = {
     "assoc": str,
     "rate": int,
     "channels": int,
+    "device": str,
 }
 
 
@@ -210,18 +215,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     cores = len(programs)
 
     def build(k: int = 4, entries: int = 64, assoc: str = "full",
-              rate: int = 667, channels: int = 2) -> SystemConfig:
+              rate: int = 667, channels: int = 2,
+              device: str = "ddr2-667") -> SystemConfig:
         prefetch = AmbPrefetchConfig(
             region_cachelines=k,
             cache_entries=entries,
             associativity=ASSOCIATIVITIES[assoc],
         )
-        return fbdimm_amb_prefetch(
+        config = fbdimm_amb_prefetch(
             num_cores=cores,
             prefetch=prefetch,
-            data_rate_mts=rate,
             logic_channels=channels,
         )
+        if device != "ddr2-667":
+            # The device preset fixes its own data rate; an explicit
+            # rate axis still overrides it below.
+            config = config.with_device(device)
+        if device == "ddr2-667" or "rate" in axes:
+            config = config.with_memory(data_rate_mts=rate)
+        return config
 
     sweep = Sweep(
         axes=axes, build=build, workload=args.workload, metric_name="sum_ipc"
@@ -307,6 +319,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--insts", type=int, default=50_000)
         p.add_argument("--seed", type=int, default=12345)
         p.add_argument("--no-sw-prefetch", action="store_true")
+        p.add_argument("--device", choices=device_names(), default="ddr2-667",
+                       help="DRAM device generation preset "
+                            "(see docs/DEVICES.md)")
         p.add_argument("--k", type=int, default=4,
                        help="region cachelines for fbd-ap")
         p.add_argument("--entries", type=int, default=64)

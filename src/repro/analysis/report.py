@@ -12,6 +12,18 @@ from repro.stats import metrics
 from repro.system import SimulationResult
 
 
+def _energy_model_for(device: str) -> CommandEnergyModel:
+    """Per-command energy weights of the run's device generation.
+
+    Unknown names fall back to the paper's DDR2 calibration so reports
+    on results from older serialized configs still render.
+    """
+    from repro.dram.devices import DEVICE_PRESETS
+
+    spec = DEVICE_PRESETS.get(device)
+    return spec.energy if spec is not None else CommandEnergyModel()
+
+
 def run_report(
     result: SimulationResult, baseline: Optional[SimulationResult] = None
 ) -> str:
@@ -85,7 +97,12 @@ def run_report(
         f"({mem.column_reads} RD, {mem.column_writes} WR), "
         f"{mem.refreshes} refreshes"
     )
-    energy_units = CommandEnergyModel().energy_of(mem)
+    if mem.faw_stalls:
+        lines.append(
+            f"  tFAW: {mem.faw_stalls} delayed ACTs, "
+            f"{mem.faw_stall_ps / 1000:.1f} ns total stall"
+        )
+    energy_units = _energy_model_for(memory.device).energy_of(mem)
     lines.append(f"  dynamic energy: {energy_units:.0f} units (per-command model)")
     if baseline is not None:
         rel = relative_dynamic_power_from_commands(mem, baseline.mem)

@@ -80,14 +80,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     if not args.no_heartbeat:
         config.progress = lambda line: print(f"  [{line}]", flush=True)
     try:
-        scenarios = resolve_scenarios((args.scenarios or "").split(","))
+        scenarios = resolve_scenarios(
+            (args.scenarios or "").split(","), device=args.device
+        )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     print(
         f"bench run: {len(scenarios)} scenario(s), "
         f"{config.warmup}+{config.trials} trials, "
-        f"{config.instructions} instructions/core"
+        f"{config.instructions} instructions/core, "
+        f"device {args.device}"
         f"{' (quick)' if args.quick else ''}"
     )
     results = run_suite(scenarios, config)
@@ -192,6 +195,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
                        help="reduced scale: fewer instructions and trials")
     run_p.add_argument("--scenarios", default="",
                        help=f"comma list from {sorted(SCENARIOS)} (default all)")
+    from repro.dram.devices import device_names
+
+    run_p.add_argument("--device", choices=device_names(), default="ddr2-667",
+                       help="DRAM device generation preset applied to every "
+                            "scenario (see docs/DEVICES.md)")
     run_p.add_argument("--insts", type=int, default=40_000,
                        help="instructions/core per run")
     run_p.add_argument("--trials", type=int, default=5)
@@ -244,6 +252,9 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     prof_p.add_argument("--insts", type=int, default=50_000)
     prof_p.add_argument("--seed", type=int, default=12345)
     prof_p.add_argument("--no-sw-prefetch", action="store_true")
+    prof_p.add_argument("--device", choices=device_names(),
+                        default="ddr2-667",
+                        help="DRAM device generation preset")
     prof_p.add_argument("--k", type=int, default=4)
     prof_p.add_argument("--entries", type=int, default=64)
     prof_p.add_argument("--assoc",

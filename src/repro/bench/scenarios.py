@@ -130,10 +130,15 @@ def _with_budget(config: SystemConfig, instructions: int, seed: int) -> SystemCo
 
 
 def _system_scenario(
-    build: Callable[[], SystemConfig], programs: Tuple[str, ...]
+    build: Callable[[], SystemConfig],
+    programs: Tuple[str, ...],
+    device: str = "ddr2-667",
 ) -> Callable[[int, int], Prepared]:
     def prepare(instructions: int, seed: int) -> Prepared:
-        config = _with_budget(build(), instructions, seed)
+        config = build()
+        if device != "ddr2-667":
+            config = config.with_device(device)
+        config = _with_budget(config, instructions, seed)
 
         def run() -> ScenarioRun:
             return _collect([run_system(config, programs)])
@@ -149,7 +154,7 @@ def _system_scenario(
 
 
 def _sweep_pairs(
-    instructions: int, seed: int
+    instructions: int, seed: int, device: str = "ddr2-667"
 ) -> List[Tuple[SystemConfig, Tuple[str, ...]]]:
     """A small prefetch-degree sweep, the shape every figure module has."""
     programs = ("wupwise", "swim")
@@ -158,14 +163,18 @@ def _sweep_pairs(
         config = fbdimm_amb_prefetch(num_cores=2).with_prefetch(
             region_cachelines=k
         )
+        if device != "ddr2-667":
+            config = config.with_device(device)
         pairs.append((_with_budget(config, instructions, seed), programs))
     return pairs
 
 
-def _prepare_sweep_cold(instructions: int, seed: int) -> Prepared:
+def _prepare_sweep_cold(
+    instructions: int, seed: int, device: str = "ddr2-667"
+) -> Prepared:
     from repro.experiments.parallel import execute_runs
 
-    pairs = _sweep_pairs(instructions, seed)
+    pairs = _sweep_pairs(instructions, seed, device)
 
     def run() -> ScenarioRun:
         from repro.experiments.runcache import RunCache, run_key
@@ -183,11 +192,13 @@ def _prepare_sweep_cold(instructions: int, seed: int) -> Prepared:
     return Prepared(run=run)
 
 
-def _prepare_sweep_warm(instructions: int, seed: int) -> Prepared:
+def _prepare_sweep_warm(
+    instructions: int, seed: int, device: str = "ddr2-667"
+) -> Prepared:
     from repro.experiments.parallel import execute_runs
     from repro.experiments.runcache import RunCache, run_key
 
-    pairs = _sweep_pairs(instructions, seed)
+    pairs = _sweep_pairs(instructions, seed, device)
     tmp = tempfile.mkdtemp(prefix="repro-bench-warm-")
     cache = RunCache(tmp)
     for (config, programs), result in zip(pairs, execute_runs(pairs, jobs=2)):
@@ -211,77 +222,102 @@ def _prepare_sweep_warm(instructions: int, seed: int) -> Prepared:
 # Registry
 # ----------------------------------------------------------------------
 
-SCENARIOS: Dict[str, Scenario] = {
-    scenario.name: scenario
-    for scenario in (
-        Scenario(
-            name="ddr2-1ch",
-            description="single-channel DDR2, 2 cores (leanest hot loop)",
-            prepare=_system_scenario(
-                lambda: ddr2_baseline(num_cores=2, logic_channels=1),
-                ("wupwise", "swim"),
+def build_scenarios(device: str = "ddr2-667") -> Dict[str, Scenario]:
+    """The scenario registry with every config mapped onto ``device``.
+
+    ``ddr2-667`` (the paper's generation, and every preset builder's
+    default) applies no override, so the default registry is byte-for-byte
+    the historical one and existing bench baselines stay comparable.
+    """
+    import functools
+
+    def partial_prepare(prepare: Callable) -> Callable[[int, int], Prepared]:
+        return functools.partial(prepare, device=device)
+
+    return {
+        scenario.name: scenario
+        for scenario in (
+            Scenario(
+                name="ddr2-1ch",
+                description="single-channel DDR2, 2 cores (leanest hot loop)",
+                prepare=_system_scenario(
+                    lambda: ddr2_baseline(num_cores=2, logic_channels=1),
+                    ("wupwise", "swim"),
+                    device=device,
+                ),
             ),
-        ),
-        Scenario(
-            name="fbd-4ch",
-            description="4-channel FB-DIMM, 4 cores, no prefetch",
-            prepare=_system_scenario(
-                lambda: fbdimm_baseline(num_cores=4, logic_channels=4),
-                ("wupwise", "swim", "mgrid", "applu"),
+            Scenario(
+                name="fbd-4ch",
+                description="4-channel FB-DIMM, 4 cores, no prefetch",
+                prepare=_system_scenario(
+                    lambda: fbdimm_baseline(num_cores=4, logic_channels=4),
+                    ("wupwise", "swim", "mgrid", "applu"),
+                    device=device,
+                ),
             ),
-        ),
-        Scenario(
-            name="fbd-4ch-ap",
-            description="4-channel FB-DIMM + AMB prefetch, 4 cores",
-            prepare=_system_scenario(
-                lambda: fbdimm_amb_prefetch(num_cores=4, logic_channels=4),
-                ("wupwise", "swim", "mgrid", "applu"),
+            Scenario(
+                name="fbd-4ch-ap",
+                description="4-channel FB-DIMM + AMB prefetch, 4 cores",
+                prepare=_system_scenario(
+                    lambda: fbdimm_amb_prefetch(num_cores=4, logic_channels=4),
+                    ("wupwise", "swim", "mgrid", "applu"),
+                    device=device,
+                ),
             ),
-        ),
-        Scenario(
-            name="fbd-4ch-ap-timeline",
-            description="fbd-4ch-ap with the windowed timeline recording on",
-            prepare=_system_scenario(
-                lambda: fbdimm_amb_prefetch(
-                    num_cores=4, logic_channels=4
-                ).with_timeline(window_ns=1000.0),
-                ("wupwise", "swim", "mgrid", "applu"),
+            Scenario(
+                name="fbd-4ch-ap-timeline",
+                description="fbd-4ch-ap with the windowed timeline recording on",
+                prepare=_system_scenario(
+                    lambda: fbdimm_amb_prefetch(
+                        num_cores=4, logic_channels=4
+                    ).with_timeline(window_ns=1000.0),
+                    ("wupwise", "swim", "mgrid", "applu"),
+                    device=device,
+                ),
             ),
-        ),
-        Scenario(
-            name="fbd-4ch-ap-faults",
-            description="4-channel FB-DIMM + AMB prefetch + link faults",
-            prepare=_system_scenario(
-                lambda: fbdimm_amb_prefetch(
-                    num_cores=4, logic_channels=4
-                ).with_faults(error_rate=1e-2),
-                ("wupwise", "swim", "mgrid", "applu"),
+            Scenario(
+                name="fbd-4ch-ap-faults",
+                description="4-channel FB-DIMM + AMB prefetch + link faults",
+                prepare=_system_scenario(
+                    lambda: fbdimm_amb_prefetch(
+                        num_cores=4, logic_channels=4
+                    ).with_faults(error_rate=1e-2),
+                    ("wupwise", "swim", "mgrid", "applu"),
+                    device=device,
+                ),
             ),
-        ),
-        Scenario(
-            name="sweep-cold",
-            description="4-point prefetch sweep, parallel runner, cold cache",
-            prepare=_prepare_sweep_cold,
-            insts_scale=0.5,
-        ),
-        Scenario(
-            name="sweep-warm",
-            description="4-point prefetch sweep served from a warm run cache",
-            prepare=_prepare_sweep_warm,
-            insts_scale=0.5,
-        ),
-    )
-}
+            Scenario(
+                name="sweep-cold",
+                description="4-point prefetch sweep, parallel runner, cold cache",
+                prepare=partial_prepare(_prepare_sweep_cold),
+                insts_scale=0.5,
+            ),
+            Scenario(
+                name="sweep-warm",
+                description="4-point prefetch sweep served from a warm run cache",
+                prepare=partial_prepare(_prepare_sweep_warm),
+                insts_scale=0.5,
+            ),
+        )
+    }
 
 
-def resolve_scenarios(names: Sequence[str]) -> List[Scenario]:
+#: The default (paper-generation) registry; ``repro bench --device`` and
+#: the conformance suite rebuild it per generation via build_scenarios.
+SCENARIOS: Dict[str, Scenario] = build_scenarios()
+
+
+def resolve_scenarios(
+    names: Sequence[str], device: str = "ddr2-667"
+) -> List[Scenario]:
     """Look up scenarios by name, preserving order; '' or 'all' means all."""
+    registry = SCENARIOS if device == "ddr2-667" else build_scenarios(device)
     wanted = [n for n in names if n]
     if not wanted or wanted == ["all"]:
-        return list(SCENARIOS.values())
-    missing = [n for n in wanted if n not in SCENARIOS]
+        return list(registry.values())
+    missing = [n for n in wanted if n not in registry]
     if missing:
         raise KeyError(
-            f"unknown scenario(s) {missing}; available: {sorted(SCENARIOS)}"
+            f"unknown scenario(s) {missing}; available: {sorted(registry)}"
         )
-    return [SCENARIOS[n] for n in wanted]
+    return [registry[n] for n in wanted]

@@ -1,9 +1,11 @@
 """Counter-drift analysis: every stats field must be fed and exported.
 
-The simulator has two counter dataclasses that feed the paper's reported
-quantities: :class:`repro.stats.collector.MemSystemStats` (whole-run
-totals) and :class:`repro.timeline.records.WindowRecord` (the windowed
-timeline's per-window deltas).  A field drifts in two ways:
+The simulator has three counter dataclasses that feed the paper's
+reported quantities: :class:`repro.stats.collector.MemSystemStats`
+(whole-run totals), :class:`repro.timeline.records.WindowRecord` (the
+windowed timeline's per-window deltas) and
+:class:`repro.dram.bank.BankStats` (per-bank device counters folded by
+the channel controllers).  A field drifts in two ways:
 
 * **orphaned** — nothing increments it any more (a refactor moved the
   accounting and the field silently reads zero forever);
@@ -93,6 +95,22 @@ _SPECS = (
         registry_rel="timeline/export.py",
         registry_func=None,
         registry_label="the timeline export columns (timeline/export.py)",
+    ),
+    # Per-bank counters surface through the channel controllers'
+    # collect_device_counters fold (a method, so registry_func must stay
+    # None: the registry scan only sees module-level functions).  New bank
+    # counters — the tFAW stall pair, future refresh accounting — cannot
+    # silently skip that fold.
+    CounterSpec(
+        collector_rel="dram/bank.py",
+        collector_class="BankStats",
+        report_surface=("controller/channel_controller.py", "channel/"),
+        report_label="the device-counter fold "
+                     "(controller/channel_controller.py or channel/)",
+        registry_rel="controller/channel_controller.py",
+        registry_func=None,
+        registry_label="the device-counter fold "
+                       "(controller/channel_controller.py)",
     ),
 )
 

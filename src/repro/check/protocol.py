@@ -13,7 +13,9 @@ Checked rules (rule ids in parentheses):
 * bank state — no column command to a closed bank, no double ACT
   (``row-state``);
 * same rank — consecutive ACTs ≥ tRRD apart (``tRRD``), write-data end to
-  the next RD command ≥ tWTR (``tWTR``);
+  the next RD command ≥ tWTR (``tWTR``), and — when the device generation
+  defines a four-activate window (``timing.tFAW > 0``; DDR2 presets leave
+  it 0) — any five consecutive ACTs span at least tFAW (``tFAW``);
 * data bus — burst occupancy windows must not overlap (``burst-overlap``);
   on DDR2, bursts of different direction or rank must additionally be
   separated by the switching bubble (``bus-turnaround``);
@@ -91,6 +93,9 @@ class _RankState:
     last_act_event: Optional[CheckEvent] = None
     wr_data_end: Optional[int] = None
     wr_event: Optional[CheckEvent] = None
+    #: Last four ACT times+events (tFAW sliding window); only maintained
+    #: when the trace's timing defines tFAW.
+    act_window: List[Tuple[int, CheckEvent]] = field(default_factory=list)
 
 
 @dataclass
@@ -206,6 +211,13 @@ class ProtocolChecker:
                       t.tRP, "ACT after PRE")
             self._gap("tRRD", rank.last_act, rank.last_act_event, event,
                       t.tRRD, "ACT after rank ACT")
+            if t.tFAW:
+                window = rank.act_window
+                if len(window) == 4:
+                    oldest, oldest_event = window.pop(0)
+                    self._gap("tFAW", oldest, oldest_event, event,
+                              t.tFAW, "fifth ACT inside the tFAW window")
+                window.append((event.time_ps, event))
             bank.last_act = event.time_ps
             bank.last_act_event = event
             bank.last_rd = bank.last_wr = None

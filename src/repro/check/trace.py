@@ -104,7 +104,8 @@ class TraceParams:
     def from_memory_config(cls, config: MemoryConfig) -> "TraceParams":
         """Derive checker parameters from a simulator memory config."""
         timing = TimingPs.from_config(
-            config.timings, config.dram_clock_ps, config.burst_clocks
+            config.timings, config.dram_clock_ps, config.burst_clocks,
+            tfaw_ns=config.tFAW_ns,
         )
         if config.kind is MemoryKind.FBDIMM:
             return cls(

@@ -82,13 +82,19 @@ class PrefetchLocation(enum.Enum):
 
 #: DRAM clock period in picoseconds for each supported data rate (MT/s).
 #: DDR transfers two beats per clock, so clock = rate / 2.  The 1066+ rates
-#: exist for the DDR3 devices the paper's footnote 1 anticipates.
+#: exist for the DDR3 devices the paper's footnote 1 anticipates; the
+#: 1600–2400 rates are the DDR3/DDR4 bins of the Ramulator 2 timing table
+#: used by the :mod:`repro.dram.devices` presets.
 DRAM_CLOCK_PS = {
     533: 3750,
     667: 3000,
     800: 2500,
     1066: 1875,
     1333: 1500,
+    1600: 1250,
+    1866: 1071,
+    2133: 937,
+    2400: 833,
 }
 
 
@@ -326,6 +332,21 @@ class MemoryConfig:
     #: Refresh cycle time (tRFC) during which a refreshing rank's banks
     #: are unavailable.  Typical 1 Gb DDR2 value: 127.5 ns.
     refresh_cycle_ns: float = 127.5
+    #: Four-activate window (tFAW): at most four ACTs per rank within any
+    #: window of this length.  0 disables the constraint — the paper's
+    #: 4-bank DDR2 devices predate tFAW, so it is off by default and a
+    #: provable no-op for the DDR2 preset.
+    tFAW_ns: float = 0.0
+    #: Device-generation preset this config was resolved from (see
+    #: :mod:`repro.dram.devices`); purely descriptive — the fields above
+    #: are authoritative — but must name a registered preset so energy
+    #: accounting can look up the generation's datasheet calculator.
+    device: str = "ddr2-667"
+
+    #: Late-added fields elided from the canonical encoding while at their
+    #: defaults, so pre-existing cache keys and conformance digests are
+    #: unchanged for configs that never touch them.
+    ENCODE_OPTIONAL_FIELDS = frozenset({"tFAW_ns", "device"})
 
     def __post_init__(self) -> None:
         if self.data_rate_mts not in DRAM_CLOCK_PS:
@@ -345,6 +366,17 @@ class MemoryConfig:
             raise ValueError("page_bytes must be a multiple of cacheline_bytes")
         if self.prefetch.enabled and self.kind is not MemoryKind.FBDIMM:
             raise ValueError("AMB prefetching requires an FB-DIMM memory system")
+        if self.tFAW_ns < 0:
+            raise ValueError("tFAW_ns must be >= 0")
+        # Late import: repro.dram.devices builds its presets *from* the
+        # timing/power dataclasses this module defines.
+        from repro.dram.devices import DEVICE_PRESETS
+
+        if self.device not in DEVICE_PRESETS:
+            known = ", ".join(sorted(DEVICE_PRESETS))
+            raise ValueError(
+                f"unknown device preset {self.device!r}; known presets: {known}"
+            )
 
     @property
     def physical_channels(self) -> int:
@@ -485,6 +517,20 @@ class SystemConfig:
     def with_cpu(self, **changes: object) -> "SystemConfig":
         """Return a copy with the CPU config fields replaced."""
         return replace(self, cpu=replace(self.cpu, **changes))
+
+    def with_device(self, name: str) -> "SystemConfig":
+        """Return a copy resolved onto a device-generation preset.
+
+        Applies the preset's organization, timings, refresh pair, tFAW
+        and data rate (see
+        :meth:`repro.dram.devices.DeviceSpec.memory_overrides`); channel
+        topology, interleave and prefetch policy are orthogonal to the
+        generation and survive unchanged.  ``with_device("ddr2-667")`` on
+        a default config is value-identical to the config itself.
+        """
+        from repro.dram.devices import device_spec
+
+        return self.with_memory(**device_spec(name).memory_overrides())
 
     def with_faults(self, **changes: object) -> "SystemConfig":
         """Return a copy with the fault-injection config fields replaced.

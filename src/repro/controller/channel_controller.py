@@ -160,6 +160,11 @@ class ChannelControllerBase:
     def _start_refresh(self, rank_banks: Sequence[Sequence[Bank]]) -> None:
         """Arm periodic all-bank refresh per rank, staggered across ranks.
 
+        Each entry of ``rank_banks`` is one rank's bank list; every tREFI
+        that rank takes exactly one all-bank REF (a tRFC blackout on all
+        its banks), with rank offsets spread across the interval so the
+        whole channel never refreshes at once.
+
         Off by default (refresh_interval_ns == 0).  Note: once armed, the
         event queue never drains — run loops must stop via an explicit
         condition (System.run does; bare-controller tests should leave
@@ -282,7 +287,12 @@ class Ddr2ChannelController(ChannelControllerBase):
             Ddr2Dimm(config, timing, channel_id, d, self.data_bus, self.command_bus)
             for d in range(config.dimms_per_channel)
         ]
-        self._start_refresh([dimm.banks for dimm in self.dimms])
+        per_rank = config.banks_per_dimm
+        self._start_refresh([
+            dimm.banks[r * per_rank:(r + 1) * per_rank]
+            for dimm in self.dimms
+            for r in range(config.ranks_per_dimm)
+        ])
 
     def _prune(self, now: int) -> None:
         # Emptiness guards saved here beat the (very frequent) no-op calls.
@@ -335,6 +345,7 @@ class Ddr2ChannelController(ChannelControllerBase):
             "activates": 0, "column_accesses": 0, "prefetched_lines": 0,
             "column_reads": 0, "column_writes": 0, "refreshes": 0,
             "row_hits": 0, "row_misses": 0,
+            "faw_stalls": 0, "faw_stall_ps": 0,
             "busy": {self.data_bus.name: self.data_bus.busy_ps},
         }
         for dimm in self.dimms:
@@ -347,6 +358,8 @@ class Ddr2ChannelController(ChannelControllerBase):
                 counters["refreshes"] += bank.stats.refreshes
                 counters["row_hits"] += bank.stats.row_hits
                 counters["row_misses"] += bank.stats.row_misses
+                counters["faw_stalls"] += bank.stats.faw_stalls
+                counters["faw_stall_ps"] += bank.stats.faw_stall_ps
         return counters
 
 
@@ -372,7 +385,12 @@ class FbdimmChannelController(ChannelControllerBase):
         self.ambs = [
             Amb(config, timing, channel_id, d) for d in range(config.dimms_per_channel)
         ]
-        self._start_refresh([amb.banks for amb in self.ambs])
+        per_rank = config.banks_per_dimm
+        self._start_refresh([
+            amb.banks[r * per_rank:(r + 1) * per_rank]
+            for amb in self.ambs
+            for r in range(config.ranks_per_dimm)
+        ])
         self.prefetch = config.prefetch
         self._pf_enabled = config.prefetch.enabled
         self._region_lines = config.prefetch.region_cachelines
@@ -659,6 +677,7 @@ class FbdimmChannelController(ChannelControllerBase):
             "prefetched_lines": self.mc_prefetched_lines,
             "column_reads": 0, "column_writes": 0, "refreshes": 0,
             "row_hits": 0, "row_misses": 0,
+            "faw_stalls": 0, "faw_stall_ps": 0,
             "busy": {
                 self.links.north.name: self.links.north.busy_ps,
                 self.links.south.name: self.links.south.busy_ps,
@@ -675,4 +694,6 @@ class FbdimmChannelController(ChannelControllerBase):
                 counters["refreshes"] += bank.stats.refreshes
                 counters["row_hits"] += bank.stats.row_hits
                 counters["row_misses"] += bank.stats.row_misses
+                counters["faw_stalls"] += bank.stats.faw_stalls
+                counters["faw_stall_ps"] += bank.stats.faw_stall_ps
         return counters

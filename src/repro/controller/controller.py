@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _DEVICE_COUNTER_KEYS = (
     "activates", "column_accesses", "prefetched_lines",
     "column_reads", "column_writes", "refreshes",
-    "row_hits", "row_misses",
+    "row_hits", "row_misses", "faw_stalls", "faw_stall_ps",
     "idle_ps", "powerdown_ps", "idle_gaps",
 )
 
@@ -58,7 +58,8 @@ class MemoryController:
         self.stats = MemSystemStats()
         self.mapper = AddressMapper(config)
         timing = TimingPs.from_config(
-            config.timings, config.dram_clock_ps, config.burst_clocks
+            config.timings, config.dram_clock_ps, config.burst_clocks,
+            tfaw_ns=config.tFAW_ns,
         )
         self.timing = timing
         if config.kind is MemoryKind.FBDIMM:
@@ -278,6 +279,8 @@ class MemoryController:
         self.stats.refreshes += totals["refreshes"]
         self.stats.row_hits += totals["row_hits"]
         self.stats.row_misses += totals["row_misses"]
+        self.stats.faw_stalls += totals["faw_stalls"]
+        self.stats.faw_stall_ps += totals["faw_stall_ps"]
         self.stats.idle_ps += totals["idle_ps"]
         self.stats.powerdown_ps += totals["powerdown_ps"]
         self.stats.idle_gaps += totals["idle_gaps"]

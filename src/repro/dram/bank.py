@@ -35,12 +35,33 @@ from repro.dram.timing import TimingPs
 
 
 class BankStats:
-    """DRAM operation counters, the input to the power model (Section 5.5)."""
+    """DRAM operation counters, the input to the power model (Section 5.5).
+
+    The bare class-level annotations are load-bearing: the counter-drift
+    lint (``repro.check.lint.rules.counterdrift``) reconciles every
+    annotated field against its increment sites and the channel
+    controllers' ``collect_device_counters`` export surface, so a new
+    counter cannot silently go unreported.
+    """
 
     __slots__ = (
         "activates", "precharges", "reads", "writes",
         "row_hits", "row_misses", "refreshes",
+        "faw_stalls", "faw_stall_ps",
     )
+
+    activates: int
+    #: Close-page auto-precharges mirror ``activates`` one-for-one, so the
+    #: export surfaces report activates only.
+    precharges: int  # repro: ignore[stat-unreported, stat-unregistered]
+    reads: int
+    writes: int
+    row_hits: int
+    row_misses: int
+    refreshes: int
+    #: ACTs delayed by the four-activate window, and the total delay.
+    faw_stalls: int
+    faw_stall_ps: int
 
     def __init__(self) -> None:
         self.activates = 0
@@ -50,6 +71,8 @@ class BankStats:
         self.row_hits = 0
         self.row_misses = 0
         self.refreshes = 0
+        self.faw_stalls = 0
+        self.faw_stall_ps = 0
 
 
 class RankTimer:
@@ -66,12 +89,19 @@ class RankTimer:
     gated on the writes known *when it issued*, not on this one.
     """
 
-    __slots__ = ("next_act_ok", "read_ok_after_write", "pending_rd_cmds")
+    __slots__ = (
+        "next_act_ok", "read_ok_after_write", "pending_rd_cmds", "act_times",
+    )
 
     def __init__(self) -> None:
         self.next_act_ok = 0
         self.read_ok_after_write = 0
         self.pending_rd_cmds: List[int] = []
+        #: Issue times of the most recent ACTs on this rank (at most four
+        #: kept), for the tFAW sliding window.  Only maintained by banks
+        #: whose spec enables tFAW; recorded times are monotone
+        #: non-decreasing because every ACT is gated on ``next_act_ok``.
+        self.act_times: List[int] = []
 
     def act_gate(self, earliest: int) -> int:
         """Earliest time an ACT may issue respecting tRRD."""
@@ -151,6 +181,7 @@ class Bank:
         "_open_page", "_rd_data_lead", "_rd_drain_step", "_rd_col_gate",
         "_wr_data_lead", "_wr_turnaround", "_wr_col_gate", "_retry_step",
         "_tRP", "_tRCD", "_tRRD", "_tRAS", "_tRC", "_tRPD", "_tWPD",
+        "_tFAW",
     )
 
     def __init__(self, bank_id: int, timing: TimingPs, page_policy: PagePolicy) -> None:
@@ -181,6 +212,9 @@ class Bank:
         self._tRC = timing.tRC
         self._tRPD = timing.tRPD
         self._tWPD = timing.tWPD
+        # 0 for DDR2-class specs: the gate below is then never evaluated,
+        # so the constraint is a provable no-op for the paper's device.
+        self._tFAW = timing.tFAW
 
     def enable_trace(self) -> None:
         """Record every issued DRAM command (debugging/verification aid)."""
@@ -208,7 +242,8 @@ class Bank:
             if now > floor:
                 floor = now
             gate = rank.next_act_ok
-            return floor if floor >= gate else gate
+            start = floor if floor >= gate else gate
+            return self._faw_gate(rank, start) if self._tFAW else start
         open_row = self.open_row
         if open_row == row:
             col = self.column_ok
@@ -218,7 +253,8 @@ class Bank:
             if now > floor:
                 floor = now
             gate = rank.next_act_ok
-            return floor if floor >= gate else gate
+            start = floor if floor >= gate else gate
+            return self._faw_gate(rank, start) if self._tFAW else start
         # Row conflict: precharge first.
         pre = self.precharge_ok
         return pre if pre >= now else now
@@ -342,6 +378,20 @@ class Bank:
     # Internals
     # ------------------------------------------------------------------
 
+    def _faw_gate(self, rank: RankTimer, start: int) -> int:
+        """Push an ACT estimate past the four-activate window (no mutation).
+
+        Only called when ``self._tFAW`` is non-zero.  ``act_times`` holds
+        the last four ACT instants in ascending order, so the window gate
+        is simply the oldest entry plus tFAW.
+        """
+        acts = rank.act_times
+        if len(acts) == 4:
+            faw = acts[0] + self._tFAW
+            if faw > start:
+                return faw
+        return start
+
     def _row_phase(
         self, now: int, row: int, rank: RankTimer, row_hit: bool
     ) -> "tuple[Optional[int], int]":
@@ -367,6 +417,16 @@ class Bank:
                 act_floor = now
         gate = rank.next_act_ok
         act_time = act_floor if act_floor >= gate else gate
+        if self._tFAW:
+            acts = rank.act_times
+            if len(acts) == 4:
+                faw_gate = acts[0] + self._tFAW
+                if faw_gate > act_time:
+                    self.stats.faw_stalls += 1
+                    self.stats.faw_stall_ps += faw_gate - act_time
+                    act_time = faw_gate
+                del acts[0]
+            acts.append(act_time)
         act_ok = act_time + self._tRRD
         if act_ok > gate:
             rank.next_act_ok = act_ok

@@ -1,0 +1,336 @@
+"""Declarative device-generation presets (the Ramulator-2 shape).
+
+A device generation is *data, not code*: one :class:`DeviceSpec` bundles the
+organization (banks, rows, page size), the timing parameters (Table-2 style
+core timings plus the refresh pair tRFC/tREFI and the four-activate window
+tFAW), the burst geometry, and the per-command energy weights of one DRAM
+generation.  ``SystemConfig.with_device(name)`` resolves a preset from the
+registry here into the one shared bank/channel state machine — the machine
+never special-cases a generation; everything generation-specific lives in
+the spec.
+
+Shipped presets:
+
+* ``ddr2-667``   — the paper's Table 2 device, *value-identical* to the
+  :class:`~repro.config.MemoryConfig` defaults so results are pinned
+  byte-for-byte by the conformance digests.
+* ``ddr3-1333``  — JEDEC DDR3-1333H (CL9) at tCK = 1.5 ns, Micron 2 Gb x8
+  class organization and IDD values.
+* ``ddr4-2400``  — extrapolated one speed bin past the Ramulator 2
+  ``DDR4.cpp`` timing table (1600J/1866L/2133N rows; SNIPPETS.md Snippet
+  3) following its nCK progression, JEDEC DDR4-2400R (CL16), with the
+  snippet's ``DDR4_4Gb_x8``-style 16-bank organization scaled to 8 Gb.
+* ``lpddr4-2400`` — representative LPDDR4 mobile part at the same data
+  rate as ``ddr4-2400`` but with LPDDR's low-power energy profile (1.1 V,
+  x16 devices, deep power-down) — the energy-differentiated variant.
+
+Every timing is stored in nanoseconds exactly as ``n x tCK`` of its bin so
+the integer-picosecond conversion (``ns()``) is exact; provenance for each
+value is asserted field-by-field in ``tests/test_device_specs.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.config import DRAM_CLOCK_PS, DramTimings
+from repro.power.ddr2_power import MicronPowerCalculator
+from repro.power.energy import CommandEnergyModel
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICE_PRESETS",
+    "device_spec",
+    "device_names",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One DRAM generation as a declarative bundle of parameters.
+
+    Attributes:
+        name: Registry key (``ddr2-667`` etc.).
+        generation: Device family label (``DDR2`` / ``DDR3`` / ...).
+        data_rate_mts: Data rate in MT/s; must be a supported
+            :data:`~repro.config.DRAM_CLOCK_PS` rate.
+        timings: Core timing constraints in nanoseconds.
+        tFAW_ns: Four-activate window per rank; 0 disables the constraint
+            (DDR2's 4-bank devices predate tFAW).
+        tREFI_ns: Average refresh interval per rank; 0 disables scheduled
+            refresh (the paper's DDR2 model).
+        tRFC_ns: Refresh cycle time — bank blackout per REF.
+        banks_per_dimm: Logic banks per rank.
+        page_bytes: Logic row size (chip page x chips per rank).
+        rows_per_bank: Rows per logic bank.
+        burst_length: Beats per cacheline burst on the 8 B data path.
+        power: Datasheet IDD calculator for nanojoule accounting.
+        energy: Per-command dynamic-energy weights in column-access units.
+        notes: One-line provenance summary.
+    """
+
+    name: str
+    generation: str
+    data_rate_mts: int
+    timings: DramTimings
+    tFAW_ns: float = 0.0
+    tREFI_ns: float = 0.0
+    tRFC_ns: float = 127.5
+    banks_per_dimm: int = 4
+    page_bytes: int = 4096
+    rows_per_bank: int = 16384
+    burst_length: int = 8
+    power: MicronPowerCalculator = field(default_factory=MicronPowerCalculator)
+    energy: CommandEnergyModel = field(default_factory=CommandEnergyModel)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.data_rate_mts not in DRAM_CLOCK_PS:
+            raise ValueError(
+                f"{self.name}: unsupported data rate {self.data_rate_mts}; "
+                f"supported: {sorted(DRAM_CLOCK_PS)}"
+            )
+        for f in dataclasses.fields(DramTimings):
+            value = getattr(self.timings, f.name)
+            if value < 0:
+                raise ValueError(
+                    f"{self.name}: negative timing {f.name}={value}"
+                )
+        if self.timings.tRAS > self.timings.tRC:
+            raise ValueError(
+                f"{self.name}: tRAS={self.timings.tRAS} exceeds "
+                f"tRC={self.timings.tRC}"
+            )
+        if self.burst_length < 1:
+            raise ValueError(f"{self.name}: zero burst (burst_length < 1)")
+        if self.tFAW_ns < 0:
+            raise ValueError(f"{self.name}: negative tFAW {self.tFAW_ns}")
+        if self.tREFI_ns < 0:
+            raise ValueError(f"{self.name}: negative tREFI {self.tREFI_ns}")
+        if self.tREFI_ns > 0 and self.tRFC_ns <= 0:
+            raise ValueError(
+                f"{self.name}: refresh enabled (tREFI={self.tREFI_ns}) "
+                f"with non-positive tRFC={self.tRFC_ns}"
+            )
+        for name in ("banks_per_dimm", "page_bytes", "rows_per_bank"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{self.name}: {name} must be >= 1")
+
+    @property
+    def clock_ns(self) -> float:
+        """One DRAM clock period in nanoseconds."""
+        return DRAM_CLOCK_PS[self.data_rate_mts] / 1000.0
+
+    @property
+    def burst_clocks(self) -> int:
+        """Data-bus occupancy of one burst in DRAM clocks (DDR: 2 beats
+        per clock)."""
+        return max(1, self.burst_length // 2)
+
+    def memory_overrides(self) -> Dict[str, object]:
+        """The :class:`~repro.config.MemoryConfig` fields this spec sets.
+
+        ``SystemConfig.with_device`` applies exactly these; everything not
+        listed (channel topology, interleave, prefetch, ...) is
+        orthogonal to the device generation and survives unchanged.
+        """
+        return {
+            "device": self.name,
+            "data_rate_mts": self.data_rate_mts,
+            "timings": self.timings,
+            "tFAW_ns": self.tFAW_ns,
+            "refresh_interval_ns": self.tREFI_ns,
+            "refresh_cycle_ns": self.tRFC_ns,
+            "banks_per_dimm": self.banks_per_dimm,
+            "page_bytes": self.page_bytes,
+            "rows_per_bank": self.rows_per_bank,
+        }
+
+
+# ----------------------------------------------------------------------
+# Shipped presets.  Timings are written as exact multiples of the bin's
+# tCK (comments give the nCK count) so ns() conversion loses nothing.
+# ----------------------------------------------------------------------
+
+#: The paper's device: Table 2 timings, 4-bank 1 Gb-class organization,
+#: Micron DDR2-667 IDD values, and the paper's calibrated 4:1 energy
+#: ratio.  Deliberately constructed from the *defaults* of every class it
+#: references, so ``with_device("ddr2-667")`` leaves a default config
+#: value-identical (and therefore digest-identical).
+_DDR2_667 = DeviceSpec(
+    name="ddr2-667",
+    generation="DDR2",
+    data_rate_mts=667,
+    timings=DramTimings(),
+    tFAW_ns=0.0,  # 4-bank DDR2 predates the tFAW constraint
+    tREFI_ns=0.0,  # the paper does not model refresh
+    tRFC_ns=127.5,
+    banks_per_dimm=4,
+    page_bytes=4096,
+    rows_per_bank=16384,
+    burst_length=8,
+    power=MicronPowerCalculator(),
+    energy=CommandEnergyModel(),
+    notes="Paper Table 2 @ 667 MT/s; Micron 1 Gb DDR2-667 x8 IDD values",
+)
+
+#: JEDEC DDR3-1333H (CL9-9-9) at tCK = 1.5 ns; Micron 2 Gb x8
+#: (MT41J256M8 class) organization and typical IDD values.
+_DDR3_1333_POWER = MicronPowerCalculator(
+    vdd=1.5,
+    idd0=70.0,
+    idd3n=35.0,
+    idd4r=150.0,
+    idd4w=155.0,
+    idd2n=30.0,
+    idd2p=12.0,
+    idd5=180.0,
+    t_rc_ns=49.5,
+    t_rfc_ns=160.0,
+    burst_ns=6.0,  # 8 beats = 4 clocks at 1.5 ns
+    chips_per_rank=8,
+)
+_DDR3_1333 = DeviceSpec(
+    name="ddr3-1333",
+    generation="DDR3",
+    data_rate_mts=1333,
+    timings=DramTimings(
+        tRP=13.5,  # 9 nCK
+        tRCD=13.5,  # 9 nCK
+        tCL=13.5,  # 9 nCK (CL9)
+        tRC=49.5,  # 33 nCK = tRAS + tRP
+        tRRD=6.0,  # 4 nCK (x8, 1 KB page)
+        tRPD=7.5,  # tRTP = max(4 nCK, 7.5 ns)
+        tWTR=7.5,  # max(4 nCK, 7.5 ns)
+        tRAS=36.0,  # 24 nCK
+        tWL=10.5,  # CWL = 7 nCK
+        tWPD=31.5,  # tWL + burst (6.0) + tWR (15.0)
+    ),
+    tFAW_ns=30.0,  # 20 nCK (1 KB page)
+    tREFI_ns=7800.0,
+    tRFC_ns=160.0,  # 2 Gb device
+    banks_per_dimm=8,
+    page_bytes=8192,  # 1 KB chip page x 8 chips
+    rows_per_bank=32768,
+    burst_length=8,
+    power=_DDR3_1333_POWER,
+    energy=CommandEnergyModel.from_calculator(_DDR3_1333_POWER),
+    notes="JEDEC DDR3-1333H CL9; Micron 2 Gb x8 class",
+)
+
+#: One speed bin past the Ramulator 2 DDR4 timing table (SNIPPETS.md
+#: Snippet 3 commits 1600J/1866L/2133N and truncates; the 2400R row
+#: follows the same nCK progression), JEDEC DDR4-2400R CL16, with the
+#: snippet's 16-bank DDR4 organization scaled to an 8 Gb x8 part.
+_DDR4_2400_POWER = MicronPowerCalculator(
+    vdd=1.2,
+    idd0=55.0,
+    idd3n=42.0,
+    idd4r=155.0,
+    idd4w=150.0,
+    idd2n=32.0,
+    idd2p=22.0,
+    idd5=250.0,
+    t_rc_ns=45.815,
+    t_rfc_ns=350.0,
+    burst_ns=3.332,  # 8 beats = 4 clocks at 0.833 ns
+    chips_per_rank=8,
+)
+_DDR4_2400 = DeviceSpec(
+    name="ddr4-2400",
+    generation="DDR4",
+    data_rate_mts=2400,
+    timings=DramTimings(
+        tRP=13.328,  # 16 nCK (CL16 bin)
+        tRCD=13.328,  # 16 nCK
+        tCL=13.328,  # 16 nCK
+        tRC=45.815,  # 55 nCK = tRAS + tRP
+        tRRD=4.998,  # tRRD_L = 6 nCK
+        tRPD=7.497,  # tRTP = 9 nCK
+        tWTR=7.497,  # tWTR_L = 9 nCK
+        tRAS=32.487,  # 39 nCK
+        tWL=9.996,  # CWL = 12 nCK
+        tWPD=28.328,  # tWL + burst (3.332) + tWR (15.0)
+    ),
+    tFAW_ns=21.658,  # 26 nCK (x8, 1 KB page)
+    tREFI_ns=7800.0,
+    tRFC_ns=350.0,  # 8 Gb device
+    banks_per_dimm=16,  # 4 bank groups x 4 banks (snippet org)
+    page_bytes=8192,  # 1 KB chip page x 8 chips
+    rows_per_bank=32768,  # snippet DDR4_4Gb_x8 row count
+    burst_length=8,
+    power=_DDR4_2400_POWER,
+    energy=CommandEnergyModel.from_calculator(_DDR4_2400_POWER),
+    notes="Ramulator 2 DDR4 table extrapolated to 2400R (CL16); 8 Gb x8",
+)
+
+#: Representative LPDDR4-class mobile part at 2400 MT/s: same bin as
+#: ddr4-2400 but 1.1 V, x16 devices (4 chips per 8 B rank), much lower
+#: standby/power-down currents and the 8 Gb all-bank refresh pair
+#: (tRFCab 280 ns at half the tREFI).  The energy-differentiated variant.
+_LPDDR4_2400_POWER = MicronPowerCalculator(
+    vdd=1.1,
+    idd0=30.0,
+    idd3n=12.0,
+    idd4r=120.0,
+    idd4w=115.0,
+    idd2n=4.5,
+    idd2p=0.8,
+    idd5=60.0,
+    t_rc_ns=60.0,
+    t_rfc_ns=280.0,
+    burst_ns=3.332,  # 8 beats = 4 clocks at 0.833 ns
+    chips_per_rank=4,  # x16 devices
+)
+_LPDDR4_2400 = DeviceSpec(
+    name="lpddr4-2400",
+    generation="LPDDR4",
+    data_rate_mts=2400,
+    timings=DramTimings(
+        tRP=18.0,  # tRPpb
+        tRCD=18.0,
+        tCL=17.493,  # RL = 21 nCK
+        tRC=60.0,  # tRAS + tRPpb
+        tRRD=8.33,  # 10 nCK
+        tRPD=7.5,  # tRTP
+        tWTR=10.0,
+        tRAS=42.0,
+        tWL=9.996,  # WL = 12 nCK
+        tWPD=31.328,  # tWL + burst (3.332) + tWR (18.0)
+    ),
+    tFAW_ns=40.0,
+    tREFI_ns=3904.0,  # all-bank refresh at 8 Gb density
+    tRFC_ns=280.0,  # tRFCab, 8 Gb
+    banks_per_dimm=8,
+    page_bytes=8192,  # 2 KB chip page x 4 chips
+    rows_per_bank=32768,
+    burst_length=8,
+    power=_LPDDR4_2400_POWER,
+    energy=CommandEnergyModel.from_calculator(_LPDDR4_2400_POWER),
+    notes="Representative 8 Gb LPDDR4 x16 @ 2400 MT/s; low-power IDDs",
+)
+
+
+#: Registry of shipped device generations, keyed by preset name.
+DEVICE_PRESETS: Dict[str, DeviceSpec] = {
+    spec.name: spec
+    for spec in (_DDR2_667, _DDR3_1333, _DDR4_2400, _LPDDR4_2400)
+}
+
+
+def device_spec(name: str) -> DeviceSpec:
+    """Resolve a preset by name; unknown names list what exists."""
+    try:
+        return DEVICE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_PRESETS))
+        raise ValueError(
+            f"unknown device preset {name!r}; known presets: {known}"
+        ) from None
+
+
+def device_names() -> Tuple[str, ...]:
+    """All registered preset names, in registration (generation) order."""
+    return tuple(DEVICE_PRESETS)

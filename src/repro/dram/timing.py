@@ -37,6 +37,9 @@ class TimingPs:
     tWPD: int
     clock: int  # DRAM clock period
     burst: int  # data-bus occupancy of one cacheline burst
+    #: Four-activate window per rank; 0 (the DDR2 default) disables the
+    #: constraint entirely — the bank hot path never touches it then.
+    tFAW: int = 0
 
     def per_command_table(self) -> Dict[str, int]:
         """Derived per-command offsets, precomputed for the bank hot path.
@@ -72,7 +75,11 @@ class TimingPs:
 
     @classmethod
     def from_config(
-        cls, timings: DramTimings, dram_clock_ps: int, burst_clocks: int
+        cls,
+        timings: DramTimings,
+        dram_clock_ps: int,
+        burst_clocks: int,
+        tfaw_ns: float = 0.0,
     ) -> "TimingPs":
         """Convert a ns-based :class:`DramTimings` at a given data rate."""
         return cls(
@@ -88,4 +95,5 @@ class TimingPs:
             tWPD=ns(timings.tWPD),
             clock=dram_clock_ps,
             burst=burst_clocks * dram_clock_ps,
+            tFAW=ns(tfaw_ns),
         )

@@ -46,6 +46,23 @@ class CommandEnergyModel:
     write_units: float = 1.0
     refresh_units: float = 39.35
 
+    @classmethod
+    def from_calculator(cls, calc: MicronPowerCalculator) -> "CommandEnergyModel":
+        """Derive weights from datasheet IDD values, in column-read units.
+
+        Used by the non-DDR2 device presets: their weights come straight
+        from their own calculator instead of the paper's DDR2 calibration
+        (which rounds the ACT/PRE ratio to 4:1 — the paper's published
+        number — where the calculator alone would give ~3.81).
+        """
+        col = calc.column_energy_nj(is_write=False)
+        return cls(
+            act_pre_units=calc.act_pre_energy_nj() / col,
+            read_units=1.0,
+            write_units=calc.column_energy_nj(is_write=True) / col,
+            refresh_units=calc.refresh_energy_nj() / col,
+        )
+
     def dynamic_energy_units(
         self,
         activates: int,

@@ -9,7 +9,11 @@ restore exactly the values that went in.
 The codec is driven entirely by the dataclass field types, so it needs no
 per-class registration:
 
-* dataclasses    -> JSON objects keyed by field name;
+* dataclasses    -> JSON objects keyed by field name; a class may name
+  late-added fields in an ``ENCODE_OPTIONAL_FIELDS`` class attribute and
+  those are *elided while at their defaults*, so growing a config dataclass
+  does not reshuffle the canonical text (and hence cache keys / conformance
+  digests) of every value encoded before the field existed;
 * enums          -> their ``name`` (values may collide, names cannot);
 * lists/tuples   -> JSON arrays (restored to the hinted container type);
 * dicts          -> JSON objects (non-string keys are restored from the hinted
@@ -35,9 +39,11 @@ __all__ = ["encode_value", "decode_value", "canonical_dumps"]
 def encode_value(value: Any) -> Any:
     """Reduce ``value`` to JSON-compatible types, recursively."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        optional = getattr(type(value), "ENCODE_OPTIONAL_FIELDS", ())
         return {
             f.name: encode_value(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.name not in optional or not _is_default(value, f)
         }
     if isinstance(value, enum.Enum):
         return value.name
@@ -80,6 +86,21 @@ def canonical_dumps(encoded: Any) -> str:
 
 
 # ----------------------------------------------------------------------
+
+
+def _is_default(value: Any, f: "dataclasses.Field[Any]") -> bool:
+    """True when field ``f`` of ``value`` still holds its declared default.
+
+    Only fields with a default (or default factory) can ever be elided;
+    ``_decode_dataclass`` restores the very same default for a missing key,
+    so the round trip stays lossless.
+    """
+    current = getattr(value, f.name)
+    if f.default is not dataclasses.MISSING:
+        return bool(current == f.default)
+    if f.default_factory is not dataclasses.MISSING:
+        return bool(current == f.default_factory())
+    return False
 
 
 def _decode_union(raw: Any, hint: Any) -> Any:

@@ -33,6 +33,8 @@ class MemSystemStats:
     refreshes: int = 0  # all-bank refreshes at the DRAM devices
     row_hits: int = 0
     row_misses: int = 0
+    faw_stalls: int = 0  # ACTs delayed by the tFAW four-activate window
+    faw_stall_ps: int = 0  # total delay those ACTs absorbed
     # -- idle/power-down residency (fed only when the timeline is on) ----
     idle_ps: int = 0  # whole-subsystem idle time (no request outstanding)
     powerdown_ps: int = 0  # idle time past the power-down entry threshold
@@ -55,6 +57,11 @@ class MemSystemStats:
     #: core id -> [reads, latency_sum_ps, queue_delay_sum_ps].
     #: Shows which program of a mix suffers the queueing (interference).
     per_core_reads: Dict[int, List[int]] = field(default_factory=dict)
+
+    #: Late-added counters elided from the canonical encoding while zero,
+    #: so results of configurations that cannot produce them (every DDR2
+    #: run: tFAW is disabled there) keep their pre-existing digests.
+    ENCODE_OPTIONAL_FIELDS = frozenset({"faw_stalls", "faw_stall_ps"})
 
     def enable_latency_capture(self) -> None:
         """Record every demand read's latency (for repro.analysis)."""

@@ -188,6 +188,7 @@ class System:
         )
         self.timeline_collector: "Optional[TimelineCollector]" = None
         if config.timeline.enabled:
+            from repro.dram.devices import device_spec
             from repro.power.energy import EnergyAccountant
             from repro.timeline.collector import TimelineCollector
 
@@ -197,7 +198,9 @@ class System:
                 sim=self.sim,
                 stats=self.controller.stats,
                 config=config.timeline,
-                accountant=EnergyAccountant(ranks=ranks),
+                accountant=EnergyAccountant(
+                    calculator=device_spec(mem.device).power, ranks=ranks
+                ),
                 device_counters=self.controller.device_counters,
                 queue_depth=self.controller.outstanding,
             )

@@ -67,10 +67,12 @@ def run_meta(result: "SimulationResult") -> Dict[str, object]:
 
     memory = result.config.memory
     timing = TimingPs.from_config(
-        memory.timings, memory.dram_clock_ps, memory.burst_clocks
+        memory.timings, memory.dram_clock_ps, memory.burst_clocks,
+        tfaw_ns=memory.tFAW_ns,
     )
     return {
         "kind": memory.kind.value,
+        "device": memory.device,
         "physical_channels": memory.physical_channels,
         "dimms_per_channel": memory.dimms_per_channel,
         "ranks_per_dimm": memory.ranks_per_dimm,

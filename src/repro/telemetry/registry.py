@@ -306,6 +306,10 @@ def registry_from_stats(
          stats.refreshes),
         ("mem.row_hits", "open-page row-buffer hits", stats.row_hits),
         ("mem.row_misses", "open-page row-buffer misses", stats.row_misses),
+        ("mem.faw_stalls", "ACTs delayed by the tFAW window",
+         stats.faw_stalls),
+        ("mem.faw_stall_ps", "total ACT delay from the tFAW window",
+         stats.faw_stall_ps),
         ("mem.idle_ps", "whole-subsystem idle time", stats.idle_ps),
         ("mem.powerdown_ps", "idle time past the power-down threshold",
          stats.powerdown_ps),

@@ -67,8 +67,12 @@ class TestTable1Defaults:
     def test_clock_table(self):
         assert DRAM_CLOCK_PS == {
             533: 3750, 667: 3000, 800: 2500, 1066: 1875, 1333: 1500,
+            # DDR3/DDR4-era rates for the non-DDR2 device presets
+            # (floor(2000/(rate/2)) ps, matching the DDR2 rows).
+            1600: 1250, 1866: 1071, 2133: 937, 2400: 833,
         }
         assert MemoryConfig(data_rate_mts=800).dram_clock_ps == 2500
+        assert MemoryConfig(data_rate_mts=2400).dram_clock_ps == 833
 
     def test_frame_is_two_dram_clocks(self):
         assert MemoryConfig().frame_ps == 6000
@@ -100,7 +104,7 @@ class TestInterleaveLines:
 class TestValidation:
     def test_bad_data_rate(self):
         with pytest.raises(ValueError, match="data rate"):
-            MemoryConfig(data_rate_mts=1600)
+            MemoryConfig(data_rate_mts=675)
 
     def test_zero_channels(self):
         with pytest.raises(ValueError):

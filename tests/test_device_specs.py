@@ -1,0 +1,342 @@
+"""Golden pins for every shipped device preset (repro.dram.devices).
+
+Each timing and energy value is asserted against its source — the paper's
+Table 2 for ``ddr2-667``, the JEDEC bin / Micron datasheet class for
+``ddr3-1333`` and ``lpddr4-2400``, and the Ramulator 2 ``DDR4.cpp``
+timing-table progression (SNIPPETS.md Snippet 3) for ``ddr4-2400`` — so a
+silent edit to a preset constant fails here with the provenance in the
+diff, not three layers later as a conformance-digest mismatch.
+
+Also covers spec validation: a DeviceSpec that cannot describe a real
+device (negative timing, tRAS > tRC, zero burst, refresh without a tRFC)
+must be rejected at construction, and unknown preset names must fail with
+the list of known ones.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DRAM_CLOCK_PS, DramTimings, MemoryConfig, SystemConfig
+from repro.dram.devices import (
+    DEVICE_PRESETS,
+    DeviceSpec,
+    device_names,
+    device_spec,
+)
+from repro.power.ddr2_power import MicronPowerCalculator
+from repro.power.energy import CommandEnergyModel
+
+
+def approx(value):
+    return pytest.approx(value, abs=1e-9)
+
+
+class TestRegistry:
+    def test_shipped_presets(self):
+        assert device_names() == (
+            "ddr2-667", "ddr3-1333", "ddr4-2400", "lpddr4-2400"
+        )
+        for name, spec in DEVICE_PRESETS.items():
+            assert spec.name == name
+
+    def test_unknown_preset_lists_known(self):
+        with pytest.raises(ValueError, match="unknown device preset"):
+            device_spec("ddr5-6400")
+        with pytest.raises(ValueError, match="ddr3-1333"):
+            device_spec("nope")
+
+    def test_every_preset_rate_has_a_clock(self):
+        for spec in DEVICE_PRESETS.values():
+            assert spec.data_rate_mts in DRAM_CLOCK_PS
+
+    def test_every_timing_is_exact_in_picoseconds(self):
+        # Stored as n x tCK of the bin, so ns() must be lossless: the
+        # ps value is an integer number of picoseconds by construction.
+        for spec in DEVICE_PRESETS.values():
+            for f in dataclasses.fields(DramTimings):
+                value_ns = getattr(spec.timings, f.name)
+                ps = round(value_ns * 1000)
+                assert abs(value_ns * 1000 - ps) < 0.5, (
+                    f"{spec.name}.{f.name} not representable in ps"
+                )
+
+
+class TestDdr2Preset:
+    """Paper Table 2 @ 667 MT/s — must equal every default it shadows."""
+
+    spec = device_spec("ddr2-667")
+
+    def test_table2_timings(self):
+        t = self.spec.timings
+        assert t.tRP == 15.0  # Table 2: row precharge
+        assert t.tRCD == 15.0  # Table 2: RAS-to-CAS
+        assert t.tCL == 15.0  # Table 2: CAS latency
+        assert t.tRC == 54.0  # Table 2: row cycle
+        assert t.tRRD == 9.0  # Table 2: ACT-to-ACT, different banks
+        assert t.tRPD == 9.0  # Table 2: RD-to-PRE
+        assert t.tWTR == 9.0  # Table 2: WR-data-to-RD
+        assert t.tRAS == 39.0  # Table 2: ACT-to-PRE
+        assert t.tWL == 12.0  # Table 2: write latency
+        assert t.tWPD == 36.0  # Table 2: WR-to-PRE
+
+    def test_organization(self):
+        # Table 1 geometry: 4 banks, 4 KB logic page, 16 K rows.
+        assert self.spec.data_rate_mts == 667
+        assert self.spec.banks_per_dimm == 4
+        assert self.spec.page_bytes == 4096
+        assert self.spec.rows_per_bank == 16384
+        assert self.spec.burst_length == 8  # 64 B line over an 8 B path
+
+    def test_constraints_the_paper_does_not_model_are_off(self):
+        # DDR2's 4-bank devices predate tFAW and the paper skips refresh
+        # scheduling; both must be disabled so the preset is a provable
+        # no-op on the shared state machine.
+        assert self.spec.tFAW_ns == 0.0
+        assert self.spec.tREFI_ns == 0.0
+
+    def test_identity_with_config_defaults(self):
+        # The preset mirrors the MemoryConfig/DramTimings/power defaults,
+        # which is what keeps the conformance digests byte-identical.
+        assert self.spec.timings == DramTimings()
+        assert self.spec.power == MicronPowerCalculator()
+        assert self.spec.energy == CommandEnergyModel()
+        base = MemoryConfig()
+        for key, value in self.spec.memory_overrides().items():
+            assert getattr(base, key) == value, key
+
+    def test_paper_calibrated_energy_weights(self):
+        # Section 5.5: 4 column-access units per ACT/PRE pair (the paper
+        # rounds the Micron-calculator ratio of ~3.81 to its published
+        # 4:1); refresh is the calculator's exact refresh/column ratio.
+        e = self.spec.energy
+        assert e.act_pre_units == 4.0
+        assert e.read_units == 1.0
+        assert e.write_units == 1.0
+        assert e.refresh_units == 39.35
+
+
+class TestDdr3Preset:
+    """JEDEC DDR3-1333H (CL9-9-9, tCK = 1.5 ns), Micron 2 Gb x8 class."""
+
+    spec = device_spec("ddr3-1333")
+
+    def test_bin_timings(self):
+        t = self.spec.timings
+        assert t.tRP == approx(13.5)  # 9 nCK: DDR3-1333H CL-nRCD-nRP = 9-9-9
+        assert t.tRCD == approx(13.5)  # 9 nCK
+        assert t.tCL == approx(13.5)  # 9 nCK (CL9)
+        assert t.tRAS == approx(36.0)  # 24 nCK (JEDEC 1333 bin)
+        assert t.tRC == approx(49.5)  # tRAS + tRP = 33 nCK
+        assert t.tRRD == approx(6.0)  # 4 nCK (x8, 1 KB page)
+        assert t.tRPD == approx(7.5)  # tRTP = max(4 nCK, 7.5 ns)
+        assert t.tWTR == approx(7.5)  # max(4 nCK, 7.5 ns)
+        assert t.tWL == approx(10.5)  # CWL = 7 nCK at 1333
+        # tWPD = tWL + 4 tCK burst + tWR(15 ns) = 10.5 + 6.0 + 15.0
+        assert t.tWPD == approx(31.5)
+
+    def test_refresh_and_faw(self):
+        assert self.spec.tFAW_ns == approx(30.0)  # 20 nCK (1 KB page)
+        assert self.spec.tREFI_ns == approx(7800.0)  # JEDEC, <= 85 C
+        assert self.spec.tRFC_ns == approx(160.0)  # 2 Gb density
+
+    def test_organization(self):
+        assert self.spec.data_rate_mts == 1333
+        assert self.spec.banks_per_dimm == 8  # DDR3 has 8 banks
+        assert self.spec.page_bytes == 8192  # 1 KB chip page x 8 chips
+        assert self.spec.rows_per_bank == 32768  # 2 Gb x8: 32 K rows/bank
+
+    def test_power_iddfields(self):
+        # Micron MT41J256M8 class datasheet values (typical, 1333 bin).
+        p = self.spec.power
+        assert p.vdd == 1.5
+        assert p.idd0 == 70.0
+        assert p.idd3n == 35.0
+        assert p.idd4r == 150.0
+        assert p.idd4w == 155.0
+        assert p.idd2n == 30.0
+        assert p.idd2p == 12.0
+        assert p.idd5 == 180.0
+        assert p.t_rc_ns == approx(49.5)
+        assert p.t_rfc_ns == approx(160.0)
+        assert p.burst_ns == approx(6.0)  # 8 beats = 4 clocks @ 1.5 ns
+
+    def test_energy_weights_derive_from_calculator(self):
+        # Non-DDR2 presets take their weights straight from their own
+        # IDD calculator (CommandEnergyModel.from_calculator).
+        assert self.spec.energy == CommandEnergyModel.from_calculator(
+            self.spec.power
+        )
+        assert self.spec.energy.act_pre_units == pytest.approx(7.174, abs=1e-3)
+        assert self.spec.energy.refresh_units == pytest.approx(99.379, abs=1e-3)
+
+
+class TestDdr4Preset:
+    """Ramulator 2 DDR4 table (Snippet 3) extrapolated to 2400R CL16."""
+
+    spec = device_spec("ddr4-2400")
+
+    def test_bin_timings(self):
+        t = self.spec.timings
+        tck = 0.833  # DRAM_CLOCK_PS[2400] / 1000
+        # The snippet's nCK progression (1600J 11, 1866L 13, 2133N 15
+        # for CL/nRCD/nRP) lands on 16 nCK at the 2400R bin.
+        assert t.tRP == approx(16 * tck)
+        assert t.tRCD == approx(16 * tck)
+        assert t.tCL == approx(16 * tck)
+        assert t.tRAS == approx(39 * tck)  # snippet nRAS: 28/32/36 -> 39
+        assert t.tRC == approx(55 * tck)  # nRC = nRAS + nRP: 39/45/50 -> 55
+        assert t.tRRD == approx(6 * tck)  # nRRD_L: snippet 6nCK floor
+        assert t.tRPD == approx(9 * tck)  # nRTP: 6/7/8 -> 9
+        assert t.tWTR == approx(9 * tck)  # nWTR_L: 6/7/8 -> 9
+        assert t.tWL == approx(12 * tck)  # nCWL: 9/10/11 -> 12
+        # tWPD = tWL + 4 tCK burst + tWR(15 ns)
+        assert t.tWPD == approx(12 * tck + 4 * tck + 15.0)
+
+    def test_refresh_and_faw(self):
+        assert self.spec.tFAW_ns == approx(26 * 0.833)  # nFAW: x8 1 KB page
+        assert self.spec.tREFI_ns == approx(7800.0)  # JEDEC, <= 85 C
+        assert self.spec.tRFC_ns == approx(350.0)  # 8 Gb density
+
+    def test_organization(self):
+        # Snippet org: DDR4 has 4 bank groups x 4 banks = 16 banks.
+        assert self.spec.data_rate_mts == 2400
+        assert self.spec.banks_per_dimm == 16
+        assert self.spec.page_bytes == 8192
+        assert self.spec.rows_per_bank == 32768
+        assert self.spec.burst_length == 8
+
+    def test_power_iddfields(self):
+        # 8 Gb DDR4 x8 class (typical 2400 bin datasheet values).
+        p = self.spec.power
+        assert p.vdd == 1.2
+        assert p.idd0 == 55.0
+        assert p.idd3n == 42.0
+        assert p.idd4r == 155.0
+        assert p.idd4w == 150.0
+        assert p.idd2n == 32.0
+        assert p.idd2p == 22.0
+        assert p.idd5 == 250.0
+        assert p.t_rfc_ns == approx(350.0)
+        assert p.burst_ns == approx(3.332)  # 4 clocks @ 0.833 ns
+
+    def test_energy_weights_derive_from_calculator(self):
+        assert self.spec.energy == CommandEnergyModel.from_calculator(
+            self.spec.power
+        )
+        assert self.spec.energy.act_pre_units == pytest.approx(4.520, abs=1e-3)
+        assert self.spec.energy.refresh_units == pytest.approx(
+            578.993, abs=1e-3
+        )
+
+
+class TestLpddr4Preset:
+    """Representative 8 Gb LPDDR4 x16 @ 2400 MT/s (low-power variant)."""
+
+    spec = device_spec("lpddr4-2400")
+
+    def test_bin_timings(self):
+        t = self.spec.timings
+        assert t.tRP == approx(18.0)  # tRPpb
+        assert t.tRCD == approx(18.0)
+        assert t.tCL == approx(21 * 0.833)  # RL = 21 nCK
+        assert t.tRAS == approx(42.0)
+        assert t.tRC == approx(60.0)  # tRAS + tRPpb
+        assert t.tRRD == approx(8.33)  # 10 nCK
+        assert t.tWL == approx(12 * 0.833)  # WL = 12 nCK
+        # tWPD = tWL + burst (3.332) + tWR (18.0)
+        assert t.tWPD == approx(31.328)
+
+    def test_refresh_and_faw(self):
+        assert self.spec.tFAW_ns == approx(40.0)
+        assert self.spec.tREFI_ns == approx(3904.0)  # tREFIab, 8 Gb
+        assert self.spec.tRFC_ns == approx(280.0)  # tRFCab, 8 Gb
+
+    def test_low_power_iddfields(self):
+        # The point of the variant: LPDDR's standby and power-down
+        # currents are an order of magnitude below DDR4's.
+        p = self.spec.power
+        ddr4 = device_spec("ddr4-2400").power
+        assert p.vdd == 1.1
+        assert p.idd3n == 12.0 < ddr4.idd3n
+        assert p.idd2n == 4.5 < ddr4.idd2n
+        assert p.idd2p == 0.8 < ddr4.idd2p
+        assert p.chips_per_rank == 4  # x16 devices on an 8 B rank
+
+    def test_energy_weights_derive_from_calculator(self):
+        assert self.spec.energy == CommandEnergyModel.from_calculator(
+            self.spec.power
+        )
+        assert self.spec.energy.act_pre_units == pytest.approx(8.575, abs=1e-3)
+        assert self.spec.energy.refresh_units == pytest.approx(
+            123.383, abs=1e-3
+        )
+
+
+class TestSpecValidation:
+    def _valid(self, **overrides):
+        base = dict(
+            name="test-dev",
+            generation="TEST",
+            data_rate_mts=667,
+            timings=DramTimings(),
+        )
+        base.update(overrides)
+        return DeviceSpec(**base)
+
+    def test_valid_spec_constructs(self):
+        self._valid()
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError, match="negative timing tRCD"):
+            self._valid(timings=DramTimings(tRCD=-1.0))
+
+    def test_tras_exceeding_trc_rejected(self):
+        with pytest.raises(ValueError, match="tRAS.*exceeds.*tRC"):
+            self._valid(timings=DramTimings(tRAS=60.0, tRC=54.0))
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ValueError, match="zero burst"):
+            self._valid(burst_length=0)
+
+    def test_negative_tfaw_rejected(self):
+        with pytest.raises(ValueError, match="negative tFAW"):
+            self._valid(tFAW_ns=-5.0)
+
+    def test_refresh_without_trfc_rejected(self):
+        with pytest.raises(ValueError, match="non-positive tRFC"):
+            self._valid(tREFI_ns=7800.0, tRFC_ns=0.0)
+
+    def test_unsupported_rate_rejected(self):
+        with pytest.raises(ValueError, match="unsupported data rate"):
+            self._valid(data_rate_mts=1234)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ValueError, match="banks_per_dimm"):
+            self._valid(banks_per_dimm=0)
+
+    def test_unknown_device_on_memory_config_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            MemoryConfig(device="ddr9-9999")
+
+
+class TestWithDevice:
+    def test_with_device_applies_exactly_the_overrides(self):
+        config = SystemConfig().with_device("ddr4-2400")
+        spec = device_spec("ddr4-2400")
+        for key, value in spec.memory_overrides().items():
+            assert getattr(config.memory, key) == value, key
+
+    def test_with_device_preserves_orthogonal_fields(self):
+        base = SystemConfig()
+        config = base.with_device("ddr3-1333")
+        mem, base_mem = config.memory, base.memory
+        assert mem.kind == base_mem.kind
+        assert mem.logic_channels == base_mem.logic_channels
+        assert mem.dimms_per_channel == base_mem.dimms_per_channel
+        assert mem.prefetch == base_mem.prefetch
+        assert config.cpu == base.cpu
+
+    def test_ddr2_device_is_identity(self):
+        base = SystemConfig()
+        assert base.with_device("ddr2-667") == base

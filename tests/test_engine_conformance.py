@@ -14,7 +14,13 @@ Coverage:
 * a deterministic slice of every figure module's ``plan(ctx)`` — all
   unique planned runs, normalised the way the experiments layer does;
 * the off-by-default subsystems that ride the hot path when enabled:
-  a faulted run, a timeline-enabled run and a ``check_protocol=True`` run.
+  a faulted run, a timeline-enabled run and a ``check_protocol=True`` run;
+* every non-DDR2 device generation preset (``repro.dram.devices``)
+  running the bench scenarios plus the fig05 plan, so refresh scheduling,
+  tFAW enforcement and the per-generation timing/energy tables are pinned
+  by digests of their own.  The DDR2 preset adds no cases: it must map
+  every configuration onto itself (``test_ddr2_preset_reproduces_...``),
+  keeping the pre-refactor digests authoritative.
 
 Regenerate after an *intentional* model change with::
 
@@ -142,6 +148,36 @@ def _variant_cases() -> "dict[str, list]":
     }
 
 
+#: Non-DDR2 generations get digests of their own; ``ddr2-667`` is
+#: deliberately absent (it must reproduce the pre-refactor digests, which
+#: the identity test below proves without duplicating the runs).
+_DEVICE_GENERATIONS = ("ddr3-1333", "ddr4-2400", "lpddr4-2400")
+
+
+def _device_cases() -> "dict[str, list]":
+    """Every bench scenario and the fig05 plan, per device generation."""
+    cases = {}
+    bench = _bench_cases()
+    for device in _DEVICE_GENERATIONS:
+        pairs = []
+        for name in sorted(bench):
+            pairs.extend(
+                (config.with_device(device), programs)
+                for config, programs in bench[name]
+            )
+        cases[f"device:{device}:bench"] = pairs
+        ctx = ExperimentContext(instructions=PLAN_INSTS, seed=SEED, quick=True)
+        unique = {
+            (ctx._normalize(config).with_device(device), tuple(programs))
+            for config, programs in fig05_bw_latency.plan(ctx)
+        }
+        cases[f"device:{device}:fig05"] = sorted(
+            unique,
+            key=lambda pair: (canonical_dumps(pair[0].to_dict()), pair[1]),
+        )
+    return cases
+
+
 def _figure_cases() -> "dict[str, list]":
     """Every unique run in every figure module's quick-mode plan."""
     cases = {}
@@ -162,6 +198,7 @@ def conformance_cases() -> "dict[str, list]":
     cases = {}
     cases.update(_bench_cases())
     cases.update(_variant_cases())
+    cases.update(_device_cases())
     cases.update(_figure_cases())
     return cases
 
@@ -171,6 +208,8 @@ def conformance_cases() -> "dict[str, list]":
 CASE_NAMES = (
     [name for name in _bench_cases()]
     + [name for name in _variant_cases()]
+    + [f"device:{device}:{part}"
+       for device in _DEVICE_GENERATIONS for part in ("bench", "fig05")]
     + [f"figure:{name}" for name, _ in _FIGURE_PLANS]
 )
 
@@ -222,6 +261,27 @@ class TestConformance:
             f"{name}: simulated behaviour drifted from the pre-rewrite "
             "golden; if intentional, refresh the goldens and review the diff"
         )
+
+    def test_ddr2_preset_reproduces_pre_refactor_digests(self, goldens):
+        """The ddr2-667 preset is the identity on every bench config.
+
+        Config level: applying the preset must not change the canonical
+        encoding of any bench-case configuration, which (with the digest
+        tests above green) proves every pre-refactor digest is reproduced
+        bit-identically without re-running the simulations.  Run level:
+        the cheapest scenario is additionally simulated through the
+        mapped config and checked against its committed golden.
+        """
+        bench = _bench_cases()
+        for name, pairs in bench.items():
+            for config, programs in pairs:
+                mapped = config.with_device("ddr2-667")
+                assert canonical_dumps(mapped.to_dict()) == canonical_dumps(
+                    config.to_dict()
+                ), f"{name}: ddr2-667 preset changed the canonical config"
+        config, programs = bench["bench:ddr2-1ch"][0]
+        actual = digest_case([(config.with_device("ddr2-667"), programs)])
+        assert actual["digest"] == goldens["bench:ddr2-1ch"]["digest"]
 
 
 def refresh() -> None:

@@ -142,6 +142,71 @@ class TestResultRoundTrip:
         assert again.canonical_json() == text
 
 
+class TestOptionalFieldElision:
+    """Regression guard for ``ENCODE_OPTIONAL_FIELDS`` (the PR-9 device
+    refactor).
+
+    The device-generation fields late-added to :class:`MemoryConfig` and
+    :class:`MemSystemStats` are elided from the encoding while at their
+    defaults.  That elision is what keeps every pre-refactor conformance
+    digest, run-cache key and regression golden byte-identical for DDR2
+    configurations — if a default value ever starts serialising, all of
+    them churn at once.
+    """
+
+    def test_memory_config_defaults_elide_device_fields(self):
+        raw = ddr2_baseline().to_dict()
+        assert "tFAW_ns" not in raw["memory"]
+        assert "device" not in raw["memory"]
+
+    def test_memory_config_non_defaults_serialise(self):
+        raw = ddr2_baseline().with_device("ddr4-2400").to_dict()
+        assert raw["memory"]["device"] == "ddr4-2400"
+        assert raw["memory"]["tFAW_ns"] == pytest.approx(26 * 0.833)
+
+    def test_mem_stats_defaults_elide_faw_counters(self):
+        raw = encode_value(MemSystemStats(demand_reads=3))
+        assert "faw_stalls" not in raw
+        assert "faw_stall_ps" not in raw
+
+    def test_mem_stats_non_defaults_serialise(self):
+        stats = MemSystemStats(faw_stalls=2, faw_stall_ps=12_000)
+        raw = encode_value(stats)
+        assert raw["faw_stalls"] == 2
+        assert raw["faw_stall_ps"] == 12_000
+
+    def test_elided_and_explicit_forms_round_trip(self):
+        for config in (
+            ddr2_baseline(),
+            fbdimm_baseline().with_device("ddr3-1333"),
+        ):
+            assert SystemConfig.from_dict(config.to_dict()) == config
+        for stats in (
+            MemSystemStats(demand_reads=1),
+            MemSystemStats(faw_stalls=5, faw_stall_ps=999),
+        ):
+            raw = json.loads(canonical_dumps(encode_value(stats)))
+            assert decode_value(raw, MemSystemStats) == stats
+
+    def test_device_config_canonical_text_differs_only_in_new_keys(self):
+        base = json.loads(canonical_dumps(ddr2_baseline().to_dict()))
+        mapped = json.loads(
+            canonical_dumps(ddr2_baseline().with_device("ddr3-1333").to_dict())
+        )
+        changed = {
+            key
+            for key in set(base["memory"]) | set(mapped["memory"])
+            if base["memory"].get(key) != mapped["memory"].get(key)
+        }
+        # The preset rewrites exactly the fields it declares: the two new
+        # optional keys plus the organization/timing/refresh overrides.
+        assert changed == {
+            "device", "tFAW_ns", "data_rate_mts", "timings",
+            "refresh_interval_ns", "refresh_cycle_ns", "banks_per_dimm",
+            "page_bytes", "rows_per_bank",
+        }
+
+
 class TestSlotsCompat:
     """Regression guard for the PR-8 ``__slots__`` rewrite.
 
