@@ -406,6 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.timeline.cli import configure_parser as configure_timeline_parser
 
     configure_timeline_parser(timeline_p)
+
+    prefetch_p = sub.add_parser(
+        "prefetch",
+        help="prefetch lifecycle observability (see docs/PREFETCH.md)",
+    )
+    from repro.prefetch.cli import configure_parser as configure_prefetch_parser
+
+    configure_prefetch_parser(prefetch_p)
     return parser
 
 

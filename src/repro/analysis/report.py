@@ -126,6 +126,30 @@ def run_report(
             f"efficiency {result.prefetch_efficiency:.1%}, "
             f"{mem.prefetched_lines} lines prefetched"
         )
+    if mem.pf_issued:
+        # Lifecycle taxonomy (repro.prefetch): every issued line lands in
+        # exactly one terminal bucket; the conservation identity is the
+        # tracker's hard invariant, so the sum line always reconciles.
+        lines.append(
+            f"  prefetch lifecycle: {mem.pf_issued} issued = "
+            f"{mem.pf_used} used + {mem.pf_late_unused} late + "
+            f"{mem.pf_evicted_unused} evicted + "
+            f"{mem.pf_invalidated} invalidated + "
+            f"{mem.pf_resident_at_end} still resident"
+        )
+        lines.append(
+            f"    accuracy {metrics.prefetch_accuracy(mem):.1%}, "
+            f"coverage {metrics.lifecycle_coverage(mem):.1%}, "
+            f"pollution {metrics.prefetch_pollution(mem):.1%}, "
+            f"timeliness {metrics.prefetch_timeliness(mem):.1%}"
+        )
+    if mem.pf_table_lookups:
+        lines.append(
+            f"  prefetch tag store: {mem.pf_table_lookups} lookups "
+            f"({mem.pf_table_hits} hits), {mem.pf_table_inserts} inserts, "
+            f"{mem.pf_table_evictions} evictions, "
+            f"{mem.pf_table_invalidations} invalidations"
+        )
     if cfg.faults.enabled:
         lines.append(
             f"  faults: {mem.faults_injected} injected, "

@@ -19,6 +19,8 @@ from repro.config import MemoryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.retry import ChannelFaults
+    from repro.prefetch.lifecycle import PrefetchLifecycle
+    from repro.prefetch.policy import PrefetchPolicy
 from repro.controller.mapping import MappedAddress
 from repro.controller.prefetch_table import PrefetchTable
 from repro.dram.bank import AccessResult, Bank, RankTimer
@@ -54,7 +56,7 @@ class Amb:
     __slots__ = (
         "config", "timing", "dimm_id", "data_bus", "rank_timers", "banks",
         "table", "pending_fills", "prefetched_lines", "faults",
-        "_banks_per_dimm", "_region_lines",
+        "policy", "lifecycle", "_banks_per_dimm", "_region_lines",
     )
 
     def __init__(
@@ -86,6 +88,16 @@ class Amb:
         self.table: Optional[PrefetchTable] = (
             PrefetchTable(config.prefetch) if has_amb_cache else None
         )
+        #: Prediction policy deciding the group-fetch companions; present
+        #: for both buffer placements whenever prefetching is configured.
+        self.policy: "Optional[PrefetchPolicy]" = None
+        if config.prefetch.enabled:
+            from repro.prefetch.policy import create_policy
+
+            self.policy = create_policy(config.prefetch)
+        #: Optional per-prefetch lifecycle tracker (observation only);
+        #: attached by the channel controller, None keeps every hook free.
+        self.lifecycle: "Optional[PrefetchLifecycle]" = None
         #: In-flight group fetches: region id -> {line -> fill time}.
         #: A read that arrives while its region is still streaming into the
         #: AMB cache merges with the fill instead of re-fetching.
@@ -144,23 +156,29 @@ class Amb:
             # tag probe, so the lookup below counts a miss and the demand
             # re-fetches the line from DRAM (no silent corruption served).
             self.table.invalidate(line_addr)
+            if self.lifecycle is not None:
+                self.lifecycle.on_invalidate(line_addr)
         if self.table.lookup(line_addr):
+            if self.lifecycle is not None:
+                self.lifecycle.on_hit(line_addr)
+            if self.policy is not None:
+                self.policy.observe_hit(line_addr)
             return 0
         region = line_addr // self._region_lines
         pending = self.pending_fills.get(region)
         if pending is not None and line_addr in pending:
             self.table.stats.hits += 1  # merged with an in-flight fill
+            if self.lifecycle is not None:
+                self.lifecycle.on_late(line_addr)
             return pending[line_addr]
         return None
 
     def group_order(self, demanded_line: int) -> List[int]:
-        """The region's lines in fetch order: demanded first, rest by
-        address (Section 3.2)."""
-        k = self._region_lines
-        base = (demanded_line // k) * k
-        return [demanded_line] + [
-            line for line in range(base, base + k) if line != demanded_line
-        ]
+        """The region's lines in fetch order: demanded first, then the
+        policy's companion predictions (Section 3.2 under the default
+        region policy: the rest of the region by address)."""
+        assert self.policy is not None, "group_order requires prefetching"
+        return [demanded_line] + self.policy.prefetch_lines(demanded_line)
 
     def group_read(
         self, earliest: int, mapped: MappedAddress, order: List[int]
@@ -186,6 +204,8 @@ class Amb:
         """
         assert self.table is not None
         region = demanded_line // self._region_lines
+        if self.policy is not None:
+            self.policy.observe_miss(demanded_line)
         order = self.group_order(demanded_line)
         result = self.group_read(earliest, mapped, order)
 
@@ -195,6 +215,8 @@ class Amb:
         if fills:
             self.pending_fills[region] = fills
             self.prefetched_lines += len(fills)
+            if self.lifecycle is not None:
+                self.lifecycle.on_issue(fills)
         return GroupFetch(
             demanded_start=result.data_starts[0],
             fills=fills,
@@ -206,6 +228,11 @@ class Amb:
         assert self.table is not None
         fills = self.pending_fills.pop(region, None)
         if fills:
+            if self.lifecycle is not None:
+                # Fills become resident before the insert below so that a
+                # same-batch eviction of a just-filled line is charged to
+                # the right instance.
+                self.lifecycle.on_fill(fills)
             self.table.insert(fills.keys())
 
     def invalidate(self, line_addr: int) -> None:
@@ -217,6 +244,8 @@ class Amb:
         pending = self.pending_fills.get(region)
         if pending is not None:
             pending.pop(line_addr, None)
+        if self.lifecycle is not None:
+            self.lifecycle.on_invalidate(line_addr)
 
     # ------------------------------------------------------------------
     # Introspection

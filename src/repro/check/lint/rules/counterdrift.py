@@ -112,6 +112,22 @@ _SPECS = (
         registry_label="the device-counter fold "
                        "(controller/channel_controller.py)",
     ),
+    # Prefetch tag-store counters (lookups/hits/inserts/evictions/
+    # invalidations) surface through the FB-DIMM controller's
+    # collect_device_counters fold into the pf_table_* stats fields;
+    # TableStats.evictions once went dark for whole PRs because nothing
+    # reconciled it — this spec makes that structurally impossible.
+    CounterSpec(
+        collector_rel="controller/prefetch_table.py",
+        collector_class="TableStats",
+        report_surface=("controller/channel_controller.py",),
+        report_label="the tag-store counter fold "
+                     "(controller/channel_controller.py)",
+        registry_rel="controller/channel_controller.py",
+        registry_func=None,
+        registry_label="the tag-store counter fold "
+                       "(controller/channel_controller.py)",
+    ),
 )
 
 

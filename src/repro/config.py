@@ -161,6 +161,14 @@ class AmbPrefetchConfig:
             activity, isolating the bandwidth-utilisation gain.
         location: Buffer placement - the paper's AMB cache, or a
             controller-side buffer for comparison (see PrefetchLocation).
+        policy: Registered :mod:`repro.prefetch.policy` name deciding which
+            lines accompany a demand miss ("region" is the paper's
+            Section 3.2 prefetcher and reproduces the hard-wired behaviour
+            bit-identically).
+        lifecycle: Per-prefetch lifecycle accounting
+            (:mod:`repro.prefetch.lifecycle`).  Observation only - the
+            issue/fill/outcome taxonomy counters are filled but no timing
+            decision changes, so results stay bit-identical either way.
     """
 
     enabled: bool = True
@@ -171,6 +179,14 @@ class AmbPrefetchConfig:
     full_latency_hits: bool = False
     location: PrefetchLocation = PrefetchLocation.AMB
 
+    #: Late-added knobs elided from the canonical encoding while at their
+    #: defaults, so every pre-existing result digest and run-cache key is
+    #: unchanged (the config is embedded in serialized results).
+    ENCODE_OPTIONAL_FIELDS = frozenset({"policy", "lifecycle"})
+
+    policy: str = "region"
+    lifecycle: bool = False
+
     def __post_init__(self) -> None:
         if self.region_cachelines < 1:
             raise ValueError("region_cachelines must be >= 1")
@@ -180,6 +196,14 @@ class AmbPrefetchConfig:
             raise ValueError(
                 f"cache_entries={self.cache_entries} not divisible by "
                 f"ways={self.associativity.ways(self.cache_entries)}"
+            )
+        # Late import: the policy registry imports this module for typing.
+        from repro.prefetch.policy import policy_names
+
+        if self.policy not in policy_names():
+            known = ", ".join(policy_names())
+            raise ValueError(
+                f"unknown prefetch policy {self.policy!r}; known: {known}"
             )
 
 

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Deque, Iterable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dram.bank import Bank
+    from repro.prefetch.lifecycle import PrefetchLifecycle
     from repro.telemetry.spans import Tracer
 
 from repro.channel.amb import Amb
@@ -82,6 +83,9 @@ class ChannelControllerBase:
         #: Optional request-lifecycle tracer (assigned by MemoryController);
         #: every hook site is a no-op when this stays None.
         self.tracer: "Optional[Tracer]" = None
+        #: Optional per-prefetch lifecycle tracker (repro.prefetch);
+        #: attached via attach_lifecycle, None keeps every hook free.
+        self.lifecycle: "Optional[PrefetchLifecycle]" = None
 
     # -- queue interface -------------------------------------------------
 
@@ -209,6 +213,10 @@ class ChannelControllerBase:
                 line_bytes=self.config.cacheline_bytes,
                 core_id=req.core_id,
             )
+            if req.amb_hit and self.lifecycle is not None:
+                # Counted at completion, exactly like amb_hits, so the
+                # lifecycle-derived coverage matches the legacy figure.
+                self.lifecycle.on_hit_completion()
         if self.tracer is not None:
             self.tracer.on_complete(req, now)
         req.complete(now)
@@ -433,6 +441,21 @@ class FbdimmChannelController(ChannelControllerBase):
             )
             self.mc_table = PrefetchTable(scaled)
 
+    def attach_lifecycle(self, lifecycle: "PrefetchLifecycle") -> None:
+        """Arm per-prefetch lifecycle tracking on this channel.
+
+        The tracker is shared across channels (one stats object); it hooks
+        the controller's completion path, every AMB's fetch/fill path and
+        each tag store's eviction path.
+        """
+        self.lifecycle = lifecycle
+        for amb in self.ambs:
+            amb.lifecycle = lifecycle
+            if amb.table is not None:
+                amb.table.lifecycle = lifecycle
+        if self.mc_table is not None:
+            self.mc_table.lifecycle = lifecycle
+
     def _prune(self, now: int) -> None:
         # Emptiness guards saved here beat the (very frequent) no-op calls.
         links = self.links
@@ -544,6 +567,8 @@ class FbdimmChannelController(ChannelControllerBase):
             pending = self.mc_pending.get(region)
             if pending is not None:
                 pending.pop(req.line_addr, None)
+            if self.lifecycle is not None:
+                self.lifecycle.on_invalidate(req.line_addr)
         arrival = self.links.send_write_ps(self.sim.now, req.mapped.dimm)
         result = amb.write_line(arrival, req.mapped)
         req.row_hit = result.row_hit
@@ -597,6 +622,11 @@ class FbdimmChannelController(ChannelControllerBase):
         region = req.line_addr // self.prefetch.region_cachelines
         if self.mc_table.lookup(req.line_addr):
             req.amb_hit = True
+            if self.lifecycle is not None:
+                self.lifecycle.on_hit(req.line_addr)
+            amb = self._amb_for(req)
+            if amb.policy is not None:
+                amb.policy.observe_hit(req.line_addr)
             if self.tracer is not None:
                 self.tracer.on_data(req, self.sim.now)
             self._finish_at(req, self.sim.now)
@@ -605,6 +635,8 @@ class FbdimmChannelController(ChannelControllerBase):
         if pending is not None and req.line_addr in pending:
             self.mc_table.stats.hits += 1
             req.amb_hit = True
+            if self.lifecycle is not None:
+                self.lifecycle.on_late(req.line_addr)
             ready = max(self.sim.now, pending[req.line_addr])
             if self.tracer is not None:
                 self.tracer.on_data(req, ready)
@@ -613,6 +645,8 @@ class FbdimmChannelController(ChannelControllerBase):
 
         amb = self._amb_for(req)
         arrival = self.links.send_command_ps(self.sim.now)
+        if amb.policy is not None:
+            amb.policy.observe_miss(req.line_addr)
         order = amb.group_order(req.line_addr)
         result = amb.group_read(arrival, req.mapped, order)
         if self.tracer is not None:
@@ -629,11 +663,15 @@ class FbdimmChannelController(ChannelControllerBase):
         self.mc_prefetched_lines += len(fills)
         if fills:
             self.mc_pending[region] = fills
+            if self.lifecycle is not None:
+                self.lifecycle.on_issue(fills)
             last_fill = max(fills.values())
 
             def commit(r: int = region) -> None:
                 done = self.mc_pending.pop(r, None)
                 if done:
+                    if self.lifecycle is not None:
+                        self.lifecycle.on_fill(done)
                     self.mc_table.insert(done.keys())
 
             self.sim.schedule_fire(last_fill, commit)
@@ -678,6 +716,8 @@ class FbdimmChannelController(ChannelControllerBase):
             "column_reads": 0, "column_writes": 0, "refreshes": 0,
             "row_hits": 0, "row_misses": 0,
             "faw_stalls": 0, "faw_stall_ps": 0,
+            "pf_table_lookups": 0, "pf_table_hits": 0, "pf_table_inserts": 0,
+            "pf_table_evictions": 0, "pf_table_invalidations": 0,
             "busy": {
                 self.links.north.name: self.links.north.busy_ps,
                 self.links.south.name: self.links.south.busy_ps,
@@ -696,4 +736,17 @@ class FbdimmChannelController(ChannelControllerBase):
                 counters["row_misses"] += bank.stats.row_misses
                 counters["faw_stalls"] += bank.stats.faw_stalls
                 counters["faw_stall_ps"] += bank.stats.faw_stall_ps
+        if self.lifecycle is not None:
+            # Tag-store counters fold only under lifecycle observability,
+            # keeping default-run stats (and their digests) untouched.
+            tables = [amb.table for amb in self.ambs if amb.table is not None]
+            if self.mc_table is not None:
+                tables.append(self.mc_table)
+            for table in tables:
+                table_stats = table.stats
+                counters["pf_table_lookups"] += table_stats.lookups
+                counters["pf_table_hits"] += table_stats.hits
+                counters["pf_table_inserts"] += table_stats.inserts
+                counters["pf_table_evictions"] += table_stats.evictions
+                counters["pf_table_invalidations"] += table_stats.invalidations
         return counters

@@ -26,6 +26,7 @@ from repro.engine.simulator import Simulator, ns
 from repro.stats.collector import MemSystemStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.prefetch.lifecycle import PrefetchLifecycle
     from repro.telemetry.spans import Tracer
     from repro.timeline.collector import TimelineCollector
 
@@ -36,6 +37,8 @@ _DEVICE_COUNTER_KEYS = (
     "column_reads", "column_writes", "refreshes",
     "row_hits", "row_misses", "faw_stalls", "faw_stall_ps",
     "idle_ps", "powerdown_ps", "idle_gaps",
+    "pf_table_lookups", "pf_table_hits", "pf_table_inserts",
+    "pf_table_evictions", "pf_table_invalidations",
 )
 
 
@@ -92,6 +95,20 @@ class MemoryController:
         self._idle_gaps = 0
         for channel in self.channels:
             channel.tracer = tracer
+        #: Per-prefetch lifecycle tracker (repro.prefetch), armed by the
+        #: AmbPrefetchConfig.lifecycle switch; observation only.
+        self.lifecycle: "Optional[PrefetchLifecycle]" = None
+        if (
+            config.prefetch.enabled
+            and config.prefetch.lifecycle
+            and config.kind is MemoryKind.FBDIMM
+        ):
+            from repro.prefetch.lifecycle import PrefetchLifecycle
+
+            self.lifecycle = PrefetchLifecycle(self.stats, sim=sim, tracer=tracer)
+            for channel in self.channels:
+                assert isinstance(channel, FbdimmChannelController)
+                channel.attach_lifecycle(self.lifecycle)
         # The Chrome-trace exporter reuses the protocol-checker command
         # journal for its per-bank spans, so tracing turns journalling on.
         if check_protocol or tracer is not None:
@@ -253,6 +270,11 @@ class MemoryController:
             self._idle_since = self.sim.now
         self._baseline = self._summed_device_counters()
         self.stats.reset_measurement()
+        if self.lifecycle is not None:
+            # After the stats reset: re-seeds pf_issued with the in-flight
+            # prefetch instances so the conservation invariant holds over
+            # the measured window alone.
+            self.lifecycle.on_measurement_reset()
         if self.timeline is not None:
             self.timeline.on_measurement_reset()
 
@@ -262,6 +284,9 @@ class MemoryController:
         # so its residency is accounted before the fold.
         if self._idle_since is not None:
             self._close_idle_gap(self.sim.now)
+        if self.lifecycle is not None:
+            # Close the taxonomy: still-open instances -> resident_at_end.
+            self.lifecycle.finalize()
         totals = self._summed_device_counters()
         baseline = getattr(self, "_baseline", None)
         if baseline is not None:
@@ -284,5 +309,10 @@ class MemoryController:
         self.stats.idle_ps += totals["idle_ps"]
         self.stats.powerdown_ps += totals["powerdown_ps"]
         self.stats.idle_gaps += totals["idle_gaps"]
+        self.stats.pf_table_lookups += totals["pf_table_lookups"]
+        self.stats.pf_table_hits += totals["pf_table_hits"]
+        self.stats.pf_table_inserts += totals["pf_table_inserts"]
+        self.stats.pf_table_evictions += totals["pf_table_evictions"]
+        self.stats.pf_table_invalidations += totals["pf_table_invalidations"]
         self.stats.per_channel_busy_ps.update(totals["busy"])
         return self.stats

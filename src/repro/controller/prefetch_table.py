@@ -12,9 +12,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.config import AmbPrefetchConfig, ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.prefetch.lifecycle import PrefetchLifecycle
 
 
 @dataclass
@@ -42,6 +45,9 @@ class PrefetchTable:
         self.num_sets = config.cache_entries // self.ways
         self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
         self.stats = TableStats()
+        #: Optional per-prefetch lifecycle tracker; only the eviction hook
+        #: fires from here (the victim address is known nowhere else).
+        self.lifecycle: "Optional[PrefetchLifecycle]" = None
 
     def _set_for(self, line_addr: int) -> OrderedDict:
         return self._sets[line_addr % self.num_sets]
@@ -74,8 +80,10 @@ class PrefetchTable:
                 cache_set.move_to_end(line_addr)
                 continue
             if len(cache_set) >= self.ways:
-                cache_set.popitem(last=False)
+                victim, _ = cache_set.popitem(last=False)
                 evicted += 1
+                if self.lifecycle is not None:
+                    self.lifecycle.on_evict(victim)
             cache_set[line_addr] = True
             self.stats.inserts += 1
         self.stats.evictions += evicted

@@ -70,6 +70,51 @@ def run(ctx: ExperimentContext) -> ResultTable:
     return table
 
 
+def lifecycle_crosscheck(ctx: ExperimentContext) -> List[str]:
+    """Recompute Figure 8's coverage from the lifecycle taxonomy.
+
+    Re-runs every variant with ``AmbPrefetchConfig.lifecycle=True`` and
+    checks, per run, that (a) the conservation invariant holds and
+    (b) :func:`repro.stats.metrics.lifecycle_coverage` — coverage rebuilt
+    from the per-prefetch outcome counters — equals the legacy
+    ``prefetch_coverage`` *exactly* (both count hits at read completion,
+    so any drift is a lifecycle-accounting bug, not noise).
+
+    Returns human-readable mismatches; empty means the cross-check
+    passed.  Deliberately separate from :func:`plan`/:func:`run`, whose
+    lifecycle-off runs stay digest-pinned.
+    """
+    import dataclasses
+
+    from repro.prefetch.lifecycle import conservation_delta
+    from repro.stats import metrics
+
+    problems: List[str] = []
+    for label, prefetch in VARIANTS:
+        for cores in CORE_COUNTS:
+            for workload in ctx.workloads_for(cores):
+                programs = ctx.programs_of(workload)
+                config = fbdimm_amb_prefetch(
+                    num_cores=cores,
+                    prefetch=dataclasses.replace(prefetch, lifecycle=True),
+                )
+                result = ctx.run(config, programs)
+                where = f"{label} cores={cores} workload={workload}"
+                delta = conservation_delta(result.mem)
+                if delta != 0:
+                    problems.append(
+                        f"{where}: conservation delta {delta:+d}"
+                    )
+                legacy = metrics.prefetch_coverage(result.mem)
+                rebuilt = metrics.lifecycle_coverage(result.mem)
+                if rebuilt != legacy:
+                    problems.append(
+                        f"{where}: lifecycle coverage {rebuilt!r}"
+                        f" != legacy {legacy!r}"
+                    )
+    return problems
+
+
 def main() -> None:
     ctx = ExperimentContext()
     print(run(ctx).format())

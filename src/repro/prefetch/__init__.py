@@ -1,0 +1,35 @@
+"""Prefetch policy boundary and per-prefetch lifecycle observability.
+
+Two halves, both policy-agnostic:
+
+* :mod:`repro.prefetch.policy` — the :class:`PrefetchPolicy` interface at
+  the AMB/controller boundary (train on the miss stream, predict the lines
+  to fetch alongside a demand miss).  The paper's region prefetcher is
+  re-hosted behind it bit-identically; future policies (DSPatch-class,
+  stride/stream) plug in here and are measured by the same instruments.
+* :mod:`repro.prefetch.lifecycle` — a per-prefetch lifecycle tracker that
+  follows every prefetched line from issue through fill to exactly one
+  terminal outcome (used / late_unused / evicted_unused / invalidated /
+  resident_at_end), with a hard conservation invariant over the taxonomy.
+
+Both are off by default; an observability-off run is bit-identical to a
+build without this package (pinned by the conformance digest suite).
+"""
+
+from repro.prefetch.lifecycle import PrefetchLifecycle
+from repro.prefetch.policy import (
+    PrefetchPolicy,
+    RegionPrefetchPolicy,
+    create_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "PrefetchLifecycle",
+    "PrefetchPolicy",
+    "RegionPrefetchPolicy",
+    "create_policy",
+    "policy_names",
+    "register_policy",
+]

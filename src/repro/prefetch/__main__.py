@@ -1,0 +1,8 @@
+"""``python -m repro.prefetch`` entry point."""
+
+import sys
+
+from repro.prefetch.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

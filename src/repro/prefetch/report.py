@@ -1,0 +1,88 @@
+"""Human-readable rendering of the prefetch lifecycle taxonomy.
+
+``repro prefetch report`` (and tests) render one
+:class:`~repro.stats.collector.MemSystemStats` snapshot as a small
+table: the closed outcome taxonomy with its conservation identity, the
+derived accuracy / coverage / pollution / timeliness metrics, and the
+tag-store counter fold.  The renderer never recomputes outcomes — it
+only formats what the tracker counted — so a report is exactly as
+trustworthy as the invariant it prints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetch.lifecycle import conservation_delta
+from repro.stats import metrics
+from repro.stats.collector import MemSystemStats
+
+
+def lifecycle_summary(stats: MemSystemStats) -> dict:
+    """The lifecycle numbers as one flat dict (CLI --json, tests)."""
+    return {
+        "issued": stats.pf_issued,
+        "used": stats.pf_used,
+        "late_unused": stats.pf_late_unused,
+        "evicted_unused": stats.pf_evicted_unused,
+        "invalidated": stats.pf_invalidated,
+        "resident_at_end": stats.pf_resident_at_end,
+        "hits": stats.pf_hits,
+        "accuracy": metrics.prefetch_accuracy(stats),
+        "coverage": metrics.lifecycle_coverage(stats),
+        "pollution": metrics.prefetch_pollution(stats),
+        "timeliness": metrics.prefetch_timeliness(stats),
+        "conservation_delta": conservation_delta(stats),
+        "table_lookups": stats.pf_table_lookups,
+        "table_hits": stats.pf_table_hits,
+        "table_inserts": stats.pf_table_inserts,
+        "table_evictions": stats.pf_table_evictions,
+        "table_invalidations": stats.pf_table_invalidations,
+    }
+
+
+def lifecycle_report(stats: MemSystemStats, label: str = "") -> str:
+    """Multi-line lifecycle report for one run's stats."""
+    lines: List[str] = []
+    title = f"prefetch lifecycle: {label}" if label else "prefetch lifecycle"
+    lines.append(title)
+    issued = stats.pf_issued
+    if not issued:
+        lines.append("  no prefetches issued (lifecycle tracking off, or "
+                     "prefetching disabled)")
+        return "\n".join(lines)
+
+    rows = (
+        ("used", stats.pf_used,
+         "demand hit while resident in the prefetch cache"),
+        ("late", stats.pf_late_unused,
+         "demand arrived before the fill completed"),
+        ("evicted unused", stats.pf_evicted_unused,
+         "replaced (or superseded) without ever being hit"),
+        ("invalidated", stats.pf_invalidated,
+         "dropped by writes or parity faults"),
+        ("resident at end", stats.pf_resident_at_end,
+         "still cached when the run finished"),
+    )
+    lines.append(f"  issued: {issued}")
+    for name, count, why in rows:
+        lines.append(f"    {name:<16} {count:>9}  {count / issued:>6.1%}  {why}")
+
+    delta = conservation_delta(stats)
+    status = "holds" if delta == 0 else f"VIOLATED (delta {delta:+d})"
+    lines.append(f"  conservation: issued == sum(outcomes) {status}")
+    lines.append(
+        f"  accuracy {metrics.prefetch_accuracy(stats):.1%}, "
+        f"coverage {metrics.lifecycle_coverage(stats):.1%} "
+        f"({stats.pf_hits} of {stats.total_reads} reads), "
+        f"pollution {metrics.prefetch_pollution(stats):.1%}, "
+        f"timeliness {metrics.prefetch_timeliness(stats):.1%}"
+    )
+    if stats.pf_table_lookups:
+        lines.append(
+            f"  tag store: {stats.pf_table_lookups} lookups "
+            f"({stats.pf_table_hits} hits), {stats.pf_table_inserts} inserts, "
+            f"{stats.pf_table_evictions} evictions, "
+            f"{stats.pf_table_invalidations} invalidations"
+        )
+    return "\n".join(lines)

@@ -39,6 +39,21 @@ class MemSystemStats:
     idle_ps: int = 0  # whole-subsystem idle time (no request outstanding)
     powerdown_ps: int = 0  # idle time past the power-down entry threshold
     idle_gaps: int = 0  # closed idle gaps (entries into the idle state)
+    # -- prefetch lifecycle taxonomy (repro.prefetch; fed only when
+    # AmbPrefetchConfig.lifecycle is on, all zero otherwise) -------------
+    pf_issued: int = 0  # prefetched-line instances booked by group fetches
+    pf_used: int = 0  # instances hit by a demand read while resident
+    pf_evicted_unused: int = 0  # instances replaced/displaced before any hit
+    pf_late_unused: int = 0  # instances whose demand merged with the fill
+    pf_invalidated: int = 0  # instances dropped by a write or parity flip
+    pf_resident_at_end: int = 0  # instances still open at finalize
+    pf_hits: int = 0  # completed reads served from a prefetch buffer
+    # -- prefetch tag-store counters (same gate; device-side fold) -------
+    pf_table_lookups: int = 0  # tag probes that counted a lookup
+    pf_table_hits: int = 0  # tag hits incl. in-flight fill merges
+    pf_table_inserts: int = 0  # lines installed into tag stores
+    pf_table_evictions: int = 0  # lines replaced out of tag stores
+    pf_table_invalidations: int = 0  # lines dropped by writes/parity
     # -- fault injection (repro.faults; all zero when faults are off) ----
     faults_injected: int = 0  # corrupted transfer attempts on the links
     faults_corrupted: int = 0  # transfers that saw >= 1 corruption
@@ -60,8 +75,15 @@ class MemSystemStats:
 
     #: Late-added counters elided from the canonical encoding while zero,
     #: so results of configurations that cannot produce them (every DDR2
-    #: run: tFAW is disabled there) keep their pre-existing digests.
-    ENCODE_OPTIONAL_FIELDS = frozenset({"faw_stalls", "faw_stall_ps"})
+    #: run: tFAW is disabled there; every lifecycle-off run: the pf_*
+    #: taxonomy) keep their pre-existing digests.
+    ENCODE_OPTIONAL_FIELDS = frozenset({
+        "faw_stalls", "faw_stall_ps",
+        "pf_issued", "pf_used", "pf_evicted_unused", "pf_late_unused",
+        "pf_invalidated", "pf_resident_at_end", "pf_hits",
+        "pf_table_lookups", "pf_table_hits", "pf_table_inserts",
+        "pf_table_evictions", "pf_table_invalidations",
+    })
 
     def enable_latency_capture(self) -> None:
         """Record every demand read's latency (for repro.analysis)."""
@@ -78,6 +100,13 @@ class MemSystemStats:
         self.sw_prefetch_reads = 0
         self.writes = 0
         self.amb_hits = 0
+        self.pf_issued = 0
+        self.pf_used = 0
+        self.pf_evicted_unused = 0
+        self.pf_late_unused = 0
+        self.pf_invalidated = 0
+        self.pf_resident_at_end = 0
+        self.pf_hits = 0
         self.read_latency_sum_ps = 0
         self.demand_latency_sum_ps = 0
         self.queue_delay_sum_ps = 0

@@ -64,6 +64,50 @@ def prefetch_efficiency(stats: MemSystemStats) -> float:
     return stats.amb_hits / stats.prefetched_lines
 
 
+def prefetch_accuracy(stats: MemSystemStats) -> float:
+    """accuracy = used prefetches / issued prefetches.
+
+    Fed by the lifecycle taxonomy (:mod:`repro.prefetch.lifecycle`); zero
+    whenever lifecycle tracking is off.
+    """
+    if stats.pf_issued == 0:
+        return 0.0
+    return stats.pf_used / stats.pf_issued
+
+
+def prefetch_pollution(stats: MemSystemStats) -> float:
+    """pollution = prefetches evicted unused / issued prefetches."""
+    if stats.pf_issued == 0:
+        return 0.0
+    return stats.pf_evicted_unused / stats.pf_issued
+
+
+def prefetch_timeliness(stats: MemSystemStats) -> float:
+    """timeliness = timely useful prefetches / all useful prefetches.
+
+    A prefetch is *useful* when a demand wanted its line (``used`` or
+    ``late_unused``) and *timely* when the line was already resident
+    (``used``).  1.0 means every useful prefetch arrived in time.
+    """
+    useful = stats.pf_used + stats.pf_late_unused
+    if useful == 0:
+        return 0.0
+    return stats.pf_used / useful
+
+
+def lifecycle_coverage(stats: MemSystemStats) -> float:
+    """coverage recomputed from the lifecycle path: pf_hits / #read.
+
+    ``pf_hits`` is counted at read completion exactly like ``amb_hits``,
+    so with lifecycle tracking on this reproduces
+    :func:`prefetch_coverage` identically (pinned by a regression test on
+    the fig08 experiment).
+    """
+    if stats.total_reads == 0:
+        return 0.0
+    return stats.pf_hits / stats.total_reads
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean, for summarising normalised results."""
     if not values:

@@ -33,14 +33,24 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     registry_from_stats,
 )
-from repro.telemetry.spans import PHASES, RequestTrace, Tracer
+from repro.telemetry.spans import (
+    PF_OUTCOMES,
+    PF_PHASES,
+    PHASES,
+    PrefetchTrace,
+    RequestTrace,
+    Tracer,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PF_OUTCOMES",
+    "PF_PHASES",
     "PHASES",
+    "PrefetchTrace",
     "RequestTrace",
     "TelemetryCapture",
     "Tracer",

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.check.trace import CheckEvent, event_to_record, record_to_event
 from repro.telemetry.registry import registry_from_stats
-from repro.telemetry.spans import RequestTrace, Tracer
+from repro.telemetry.spans import PrefetchTrace, RequestTrace, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.system import SimulationResult
@@ -54,6 +54,7 @@ class TelemetryCapture:
     meta: Dict[str, object] = field(default_factory=dict)
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
     requests: List[RequestTrace] = field(default_factory=list)
+    prefetches: List[PrefetchTrace] = field(default_factory=list)
     commands: List[CheckEvent] = field(default_factory=list)
     samples: List[Dict[str, object]] = field(default_factory=list)
     profile: List[Dict[str, object]] = field(default_factory=list)
@@ -114,6 +115,8 @@ def build_capture(
     meta = run_meta(result)
     meta["traced_requests"] = len(tracer.requests)
     meta["dropped_requests"] = tracer.dropped
+    meta["traced_prefetches"] = len(tracer.prefetches)
+    meta["dropped_prefetches"] = tracer.dropped_prefetches
     timeline: List[Dict[str, object]] = []
     if result.timeline is not None:
         meta["timeline_window_ps"] = result.timeline.window_ps
@@ -122,6 +125,7 @@ def build_capture(
         meta=meta,
         metrics=metrics,
         requests=tracer.traces(),
+        prefetches=list(tracer.prefetches),
         commands=sorted(check_events or [], key=lambda e: e.time_ps),
         samples=list(samples or []),
         profile=list(profile or []),
@@ -148,6 +152,9 @@ def save_capture(path: Union[str, Path], capture: TelemetryCapture) -> int:
         handle.write(json.dumps(header) + "\n")
         for trace in capture.requests:
             handle.write(json.dumps(trace.to_record()) + "\n")
+            count += 1
+        for pf_trace in capture.prefetches:
+            handle.write(json.dumps(pf_trace.to_record()) + "\n")
             count += 1
         for event in capture.commands:
             record: Dict[str, object] = {"type": "cmd"}
@@ -188,6 +195,8 @@ def load_capture(path: Union[str, Path]) -> TelemetryCapture:
             try:
                 if kind == "req":
                     capture.requests.append(RequestTrace.from_record(record))
+                elif kind == "pf":
+                    capture.prefetches.append(PrefetchTrace.from_record(record))
                 elif kind == "cmd":
                     capture.commands.append(record_to_event(record))
                 elif kind == "sample":
@@ -406,6 +415,23 @@ def chrome_trace(capture: TelemetryCapture) -> Dict[str, object]:
                     "fraction": int(window.get("powerdown_ps", 0)) / duration
                 }, **common,
             })
+            # Lifecycle taxonomy track — only when the window carries the
+            # pf_* fields (they are elided from the encoding at their
+            # defaults, i.e. whenever lifecycle tracking was off).
+            if any(key in window for key in (
+                "pf_issued", "pf_used", "pf_evicted_unused",
+                "pf_late_unused", "pf_invalidated",
+            )):
+                events.append({
+                    "name": "prefetch lifecycle",
+                    "args": {
+                        "issued": int(window.get("pf_issued", 0)),
+                        "used": int(window.get("pf_used", 0)),
+                        "late": int(window.get("pf_late_unused", 0)),
+                        "evicted": int(window.get("pf_evicted_unused", 0)),
+                        "invalidated": int(window.get("pf_invalidated", 0)),
+                    }, **common,
+                })
 
     events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))  # type: ignore[index]
     metadata: List[Dict[str, object]] = []
@@ -543,6 +569,24 @@ def summarize_capture(capture: TelemetryCapture, top_sites: int = 10) -> str:
             f"queue delay ns: mean {queue.mean / 1000:.1f}, "
             f"p95 {queue.percentile(95) / 1000:.1f}"
         )
+
+    if capture.prefetches:
+        outcomes: Dict[str, int] = {}
+        fill_sum = 0
+        filled = 0
+        for pf in capture.prefetches:
+            outcomes[pf.outcome or "open"] = outcomes.get(pf.outcome or "open", 0) + 1
+            fill_ps = pf.fill_latency_ps
+            if fill_ps is not None:
+                fill_sum += fill_ps
+                filled += 1
+        breakdown = ", ".join(
+            f"{name}={count}" for name, count in sorted(outcomes.items())
+        )
+        line = f"prefetch traces: {len(capture.prefetches)} ({breakdown})"
+        if filled:
+            line += f", mean fill latency {fill_sum / filled / 1000:.1f} ns"
+        lines.append(line)
 
     if capture.samples:
         depths = [int(s.get("queued_requests", 0)) for s in capture.samples]

@@ -328,6 +328,30 @@ def registry_from_stats(
          stats.fault_degraded_entries),
         ("mem.amb_parity_errors", "AMB-cache hits voided by parity",
          stats.amb_parity_errors),
+        ("mem.pf_issued", "prefetched-line instances booked by group fetches",
+         stats.pf_issued),
+        ("mem.pf_used", "prefetch instances hit while resident",
+         stats.pf_used),
+        ("mem.pf_evicted_unused", "prefetch instances replaced before any hit",
+         stats.pf_evicted_unused),
+        ("mem.pf_late_unused", "prefetch instances whose demand merged "
+         "with the in-flight fill", stats.pf_late_unused),
+        ("mem.pf_invalidated", "prefetch instances dropped by writes/parity",
+         stats.pf_invalidated),
+        ("mem.pf_resident_at_end", "prefetch instances still open at finalize",
+         stats.pf_resident_at_end),
+        ("mem.pf_hits", "completed reads served from a prefetch buffer",
+         stats.pf_hits),
+        ("mem.pf_table_lookups", "prefetch tag-store probes",
+         stats.pf_table_lookups),
+        ("mem.pf_table_hits", "prefetch tag-store hits incl. fill merges",
+         stats.pf_table_hits),
+        ("mem.pf_table_inserts", "lines installed into prefetch tag stores",
+         stats.pf_table_inserts),
+        ("mem.pf_table_evictions", "lines replaced out of prefetch tag stores",
+         stats.pf_table_evictions),
+        ("mem.pf_table_invalidations", "tag-store lines dropped by "
+         "writes/parity", stats.pf_table_invalidations),
     )
     for name, help, value in counters:
         reg.counter(name, help).inc(value)
@@ -344,6 +368,14 @@ def registry_from_stats(
          derived.prefetch_coverage(stats)),
         ("mem.prefetch_efficiency", "#prefetch_hit / #prefetch",
          derived.prefetch_efficiency(stats)),
+        ("mem.prefetch_accuracy", "used prefetches / issued prefetches",
+         derived.prefetch_accuracy(stats)),
+        ("mem.prefetch_pollution", "evicted-unused prefetches / issued",
+         derived.prefetch_pollution(stats)),
+        ("mem.prefetch_timeliness", "timely useful prefetches / useful",
+         derived.prefetch_timeliness(stats)),
+        ("mem.lifecycle_coverage", "pf_hits / #read (lifecycle path)",
+         derived.lifecycle_coverage(stats)),
         ("mem.dynamic_energy_units", "per-command dynamic energy",
          _dynamic_energy_units(stats)),
         ("mem.powerdown_residency", "power-down share of the idle time",

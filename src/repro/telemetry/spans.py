@@ -32,6 +32,84 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: requests), ``retry`` only appears under fault injection and may repeat.
 PHASES = ("arrival", "queued", "schedulable", "issue", "retry", "data", "complete")
 
+#: Prefetch-instance span phases: ``issue`` when the group fetch books the
+#: fill, ``fill`` when it commits into the tag store (absent for instances
+#: that merged or died in flight), ``end`` when the instance reaches its
+#: terminal outcome (see :mod:`repro.prefetch.lifecycle`).
+PF_PHASES = ("issue", "fill", "end")
+
+#: Terminal outcomes a prefetch span may close with.
+PF_OUTCOMES = (
+    "used", "evicted_unused", "late_unused", "invalidated", "resident_at_end",
+)
+
+
+@dataclass
+class PrefetchTrace:
+    """Timestamped lifecycle span of one prefetched-line instance."""
+
+    line_addr: int
+    phases: List[Tuple[str, int]] = field(default_factory=list)
+    outcome: str = ""
+
+    def mark(self, phase: str, time_ps: int) -> None:
+        """Record one lifecycle phase transition."""
+        if phase not in PF_PHASES:
+            raise ValueError(f"unknown prefetch phase {phase!r}")
+        self.phases.append((phase, time_ps))
+
+    def close(self, outcome: str, time_ps: int) -> None:
+        """Mark the terminal transition and record the outcome."""
+        if outcome not in PF_OUTCOMES:
+            raise ValueError(f"unknown prefetch outcome {outcome!r}")
+        self.mark("end", time_ps)
+        self.outcome = outcome
+
+    def phase_time(self, phase: str) -> Optional[int]:
+        """Time of the first occurrence of ``phase``, or None."""
+        for name, time_ps in self.phases:
+            if name == phase:
+                return time_ps
+        return None
+
+    @property
+    def fill_latency_ps(self) -> Optional[int]:
+        """issue -> fill commit, when both phases were recorded."""
+        start = self.phase_time("issue")
+        fill = self.phase_time("fill")
+        if start is None or fill is None:
+            return None
+        return fill - start
+
+    @property
+    def lifetime_ps(self) -> Optional[int]:
+        """issue -> terminal outcome, when the span is closed."""
+        start = self.phase_time("issue")
+        end = self.phase_time("end")
+        if start is None or end is None:
+            return None
+        return end - start
+
+    # -- JSONL (de)serialisation ---------------------------------------
+
+    def to_record(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "type": "pf",
+            "line": self.line_addr,
+            "ph": [[name, t] for name, t in self.phases],
+        }
+        if self.outcome:
+            record["out"] = self.outcome
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "PrefetchTrace":
+        trace = cls(line_addr=int(record.get("line", -1)))  # type: ignore[arg-type]
+        for name, time_ps in record.get("ph", []):  # type: ignore[union-attr]
+            trace.phases.append((str(name), int(time_ps)))
+        trace.outcome = str(record.get("out", ""))
+        return trace
+
 
 @dataclass
 class RequestTrace:
@@ -134,10 +212,17 @@ class Tracer:
     every completion, so aggregate numbers stay exact).
     """
 
-    def __init__(self, max_requests: int = 200_000) -> None:
+    def __init__(
+        self, max_requests: int = 200_000, max_prefetches: int = 200_000
+    ) -> None:
         self.max_requests = max_requests
         self.requests: Dict[int, RequestTrace] = {}
         self.dropped = 0
+        #: Prefetch lifecycle spans, in issue order (fed by the
+        #: PrefetchLifecycle tracker when both it and tracing are on).
+        self.max_prefetches = max_prefetches
+        self.prefetches: List[PrefetchTrace] = []
+        self.dropped_prefetches = 0
         self.registry = MetricsRegistry()
         self._h_latency = self.registry.histogram(
             "trace.latency_ps", "arrival -> completion, traced reads+writes"
@@ -213,6 +298,22 @@ class Tracer:
             trace.mark("complete", now)
             trace.amb_hit = req.amb_hit
             trace.row_hit = req.row_hit
+
+    # -- prefetch lifecycle spans ---------------------------------------
+
+    def new_prefetch_trace(self, line_addr: int, now: int) -> Optional[PrefetchTrace]:
+        """Open a lifecycle span for one prefetched-line instance.
+
+        Returns None once ``max_prefetches`` spans exist (the instance is
+        still fully counted in the stats; only its span is dropped).
+        """
+        if len(self.prefetches) >= self.max_prefetches:
+            self.dropped_prefetches += 1
+            return None
+        trace = PrefetchTrace(line_addr=line_addr)
+        trace.mark("issue", now)
+        self.prefetches.append(trace)
+        return trace
 
     # -- results --------------------------------------------------------
 

@@ -31,6 +31,8 @@ _STATS_KEYS = (
     "bytes_read", "bytes_written",
     "demand_latency_sum_ps", "queue_delay_sum_ps",
     "faults_retried_ok",
+    "pf_issued", "pf_used", "pf_evicted_unused", "pf_late_unused",
+    "pf_invalidated",
 )
 
 #: Device/residency counters read from the controller's live totals.
@@ -208,6 +210,11 @@ class TimelineCollector:
             energy_wr_nj=energy.wr_nj,
             energy_refresh_nj=energy.refresh_nj,
             energy_background_nj=energy.background_nj,
+            pf_issued=delta["pf_issued"],
+            pf_used=delta["pf_used"],
+            pf_evicted_unused=delta["pf_evicted_unused"],
+            pf_late_unused=delta["pf_late_unused"],
+            pf_invalidated=delta["pf_invalidated"],
         ))
         self._prev = now
         self._window_start = end_ps

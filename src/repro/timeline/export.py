@@ -38,6 +38,8 @@ WINDOW_FIELDS = (
     "idle_ps", "powerdown_ps", "queue_depth",
     "energy_act_nj", "energy_rd_nj", "energy_wr_nj",
     "energy_refresh_nj", "energy_background_nj",
+    "pf_issued", "pf_used", "pf_evicted_unused", "pf_late_unused",
+    "pf_invalidated",
 )
 
 #: Derived per-window rates appended to the CSV after the raw columns.

@@ -61,6 +61,21 @@ class WindowRecord:
     energy_wr_nj: float = 0.0
     energy_refresh_nj: float = 0.0
     energy_background_nj: float = 0.0
+    # -- prefetch lifecycle taxonomy deltas (repro.prefetch; fed only
+    # when AmbPrefetchConfig.lifecycle is on) ---------------------------
+    pf_issued: int = 0
+    pf_used: int = 0
+    pf_evicted_unused: int = 0
+    pf_late_unused: int = 0
+    pf_invalidated: int = 0
+
+    #: Late-added fields elided from the canonical encoding while at
+    #: their defaults so pre-existing timeline digests, goldens and JSONL
+    #: files keep decoding (and hashing) unchanged.
+    ENCODE_OPTIONAL_FIELDS = frozenset({
+        "pf_issued", "pf_used", "pf_evicted_unused", "pf_late_unused",
+        "pf_invalidated",
+    })
 
     # -- derived rates (never serialised; recomputed from the counts) ---
     # Structural validity (end > start, contiguous indices) is checked by

@@ -56,6 +56,8 @@ def _totals(windows: Sequence[WindowRecord]) -> dict:
         "energy_wr_nj": 0.0, "energy_refresh_nj": 0.0,
         "energy_background_nj": 0.0, "latency_max_ps": 0,
         "queue_depth_max": 0, "duration_ps": 0,
+        "pf_issued": 0, "pf_used": 0, "pf_evicted_unused": 0,
+        "pf_late_unused": 0, "pf_invalidated": 0,
     }
     for w in windows:
         t["demand_reads"] += w.demand_reads
@@ -81,6 +83,11 @@ def _totals(windows: Sequence[WindowRecord]) -> dict:
         t["energy_wr_nj"] += w.energy_wr_nj
         t["energy_refresh_nj"] += w.energy_refresh_nj
         t["energy_background_nj"] += w.energy_background_nj
+        t["pf_issued"] += w.pf_issued
+        t["pf_used"] += w.pf_used
+        t["pf_evicted_unused"] += w.pf_evicted_unused
+        t["pf_late_unused"] += w.pf_late_unused
+        t["pf_invalidated"] += w.pf_invalidated
         t["latency_max_ps"] = max(t["latency_max_ps"], w.latency_max_ps)
         t["queue_depth_max"] = max(t["queue_depth_max"], w.queue_depth)
         t["duration_ps"] += w.duration_ps
@@ -170,6 +177,13 @@ def timeline_report(
         )
     if t["fault_retries"]:
         lines.append(f"  faults: {t['fault_retries']} recovered retries")
+    if t["pf_issued"]:
+        lines.append(
+            f"  prefetch lifecycle: {t['pf_issued']} issued ="
+            f" {t['pf_used']} used + {t['pf_late_unused']} late"
+            f" + {t['pf_evicted_unused']} evicted"
+            f" + {t['pf_invalidated']} invalidated (+ open)"
+        )
 
     changes = detect_phases(timeline)
     if changes:
